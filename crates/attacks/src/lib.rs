@@ -1,0 +1,46 @@
+//! # manet-attacks — routing-layer attack models
+//!
+//! The adversaries of the SAM paper, as behaviours over `manet-sim` /
+//! `manet-routing`:
+//!
+//! * [`wormhole`] — the wormhole attack in the paper's participation mode
+//!   and an extension hidden mode, single or multiple concurrent pairs,
+//!   with optional blackhole/grayhole data-plane behaviour once routes are
+//!   captured;
+//! * [`node::AttackNode`] — the behaviour wrapper that lets honest routers
+//!   and attackers coexist in one simulation;
+//! * [`scenario`] — one-call drivers plus the paper's Table I "affected
+//!   routes" criterion.
+//!
+//! ```
+//! use manet_attacks::prelude::*;
+//! use manet_routing::prelude::*;
+//! use manet_sim::prelude::*;
+//!
+//! let plan = two_cluster(1);
+//! let out = run_wormholed_discovery(
+//!     &plan, ProtocolKind::Mr, WormholeConfig::default(),
+//!     plan.src_pool[0], plan.dst_pool[0], 1,
+//! );
+//! let frac = affected_fraction(&out.routes, plan.attacker_pairs[0]);
+//! assert!(frac > 0.5); // the cluster topology is fully captured
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod scenario;
+pub mod wormhole;
+
+/// One-stop imports for attack users.
+pub mod prelude {
+    pub use crate::node::{AttackNode, AttackStats, AttackWiring};
+    pub use crate::scenario::{
+        affected_fraction, affected_fraction_any, attack_session, run_attacked_discovery,
+        run_wormholed_discovery, tunnel_link,
+    };
+    pub use crate::wormhole::{DropPolicy, WormholeConfig, WormholeMode};
+}
+
+pub use prelude::*;

@@ -1,0 +1,185 @@
+//! Convenience drivers for attacked (and normal) discoveries.
+
+use crate::node::{AttackNode, AttackWiring};
+use crate::wormhole::WormholeConfig;
+use manet_routing::{
+    DiscoveryOutcome, ProtocolKind, Route, RouterConfig, RouterNode, Session, DEFAULT_MAX_WAIT,
+};
+use manet_sim::{AttackerPair, LatencyModel, Link, NetworkPlan, NodeId};
+
+/// Build a [`Session`] of [`AttackNode`]s over `plan` with the given
+/// wiring. `AttackWiring::none()` yields the normal system on the *same*
+/// node set — the paper's baseline.
+pub fn attack_session(
+    plan: &NetworkPlan,
+    router_cfg: RouterConfig,
+    wiring: &AttackWiring,
+    latency: LatencyModel,
+    seed: u64,
+) -> Session<AttackNode> {
+    Session::new(plan, latency, seed, |id| {
+        wiring.build(RouterNode::new(id, router_cfg.clone()))
+    })
+}
+
+/// One discovery under the given wiring, with default latency/router
+/// parameters.
+pub fn run_attacked_discovery(
+    plan: &NetworkPlan,
+    protocol: ProtocolKind,
+    wiring: &AttackWiring,
+    src: NodeId,
+    dst: NodeId,
+    seed: u64,
+) -> DiscoveryOutcome {
+    let mut session = attack_session(
+        plan,
+        RouterConfig::new(protocol),
+        wiring,
+        LatencyModel::default(),
+        seed,
+    );
+    session.discover(src, dst, DEFAULT_MAX_WAIT)
+}
+
+/// One discovery with every wormhole pair of the plan active.
+pub fn run_wormholed_discovery(
+    plan: &NetworkPlan,
+    protocol: ProtocolKind,
+    cfg: WormholeConfig,
+    src: NodeId,
+    dst: NodeId,
+    seed: u64,
+) -> DiscoveryOutcome {
+    let wiring = AttackWiring::all_pairs(plan, cfg);
+    run_attacked_discovery(plan, protocol, &wiring, src, dst, seed)
+}
+
+/// The tunneled link of a (participation-mode) pair.
+pub fn tunnel_link(pair: AttackerPair) -> Link {
+    Link::new(pair.a, pair.b)
+}
+
+/// Fraction of `routes` containing the tunneled link of `pair` — the
+/// paper's Table I criterion ("a route is considered affected if it
+/// contains the tunneled link between the two attackers").
+pub fn affected_fraction(routes: &[Route], pair: AttackerPair) -> f64 {
+    if routes.is_empty() {
+        return 0.0;
+    }
+    let link = tunnel_link(pair);
+    let hit = routes.iter().filter(|r| r.contains_link(link)).count();
+    hit as f64 / routes.len() as f64
+}
+
+/// Fraction of routes affected by *any* of the given pairs.
+pub fn affected_fraction_any(routes: &[Route], pairs: &[AttackerPair]) -> f64 {
+    if routes.is_empty() {
+        return 0.0;
+    }
+    let links: Vec<Link> = pairs.iter().map(|&p| tunnel_link(p)).collect();
+    let hit = routes
+        .iter()
+        .filter(|r| links.iter().any(|&l| r.contains_link(l)))
+        .count();
+    hit as f64 / routes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wormhole::WormholeMode;
+    use manet_sim::prelude::*;
+
+    #[test]
+    fn wormhole_attracts_routes_on_the_grid() {
+        let plan = uniform_grid(6, 6, 1);
+        let pair = plan.attacker_pairs[0];
+        let src = plan.src_pool[2];
+        let dst = plan.dst_pool[2];
+        let normal = run_attacked_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            &AttackWiring::none(),
+            src,
+            dst,
+            1,
+        );
+        let attacked =
+            run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 1);
+        assert_eq!(affected_fraction(&normal.routes, pair), 0.0);
+        let frac = affected_fraction(&attacked.routes, pair);
+        assert!(frac > 0.0, "no attacked routes at all");
+        // Some attacked route must literally contain the attacker link.
+        assert!(attacked
+            .routes
+            .iter()
+            .any(|r| r.contains_link(tunnel_link(pair))));
+    }
+
+    #[test]
+    fn cluster_topology_routes_are_fully_captured() {
+        // The paper: "all routes are affected for both MR and DSR in
+        // cluster topology!"
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        let src = plan.src_pool[5];
+        let dst = plan.dst_pool[10];
+        let out =
+            run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 2);
+        assert!(!out.routes.is_empty());
+        let frac = affected_fraction(&out.routes, pair);
+        assert!(
+            frac > 0.9,
+            "cluster capture should be near-total, got {frac} over {} routes",
+            out.routes.len()
+        );
+    }
+
+    #[test]
+    fn hidden_mode_keeps_attackers_off_routes() {
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        let src = plan.src_pool[0];
+        let dst = plan.dst_pool[0];
+        let out = run_wormholed_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            WormholeConfig::hidden(),
+            src,
+            dst,
+            3,
+        );
+        assert!(!out.routes.is_empty());
+        for r in &out.routes {
+            assert!(!r.contains(pair.a) && !r.contains(pair.b), "{r}");
+        }
+        // At least one route crosses the replay gap: consecutive nodes
+        // that are not real radio neighbours.
+        let fake = out.routes.iter().any(|r| {
+            r.nodes()
+                .windows(2)
+                .any(|w| !plan.topology.are_neighbors(w[0], w[1]))
+        });
+        assert!(fake, "hidden wormhole left no impossible link");
+    }
+
+    #[test]
+    fn hidden_config_mode_is_hidden() {
+        assert_eq!(WormholeConfig::hidden().mode, WormholeMode::Hidden);
+    }
+
+    #[test]
+    fn affected_fraction_edge_cases() {
+        let pair = AttackerPair {
+            a: NodeId(1),
+            b: NodeId(2),
+        };
+        assert_eq!(affected_fraction(&[], pair), 0.0);
+        let r1 = Route::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let r2 = Route::new(vec![NodeId(0), NodeId(4), NodeId(3)]).unwrap();
+        let routes = vec![r1, r2];
+        assert!((affected_fraction(&routes, pair) - 0.5).abs() < 1e-12);
+        assert!((affected_fraction_any(&routes, &[pair]) - 0.5).abs() < 1e-12);
+    }
+}

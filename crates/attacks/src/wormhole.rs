@@ -1,0 +1,141 @@
+//! The wormhole attack model.
+//!
+//! Two colluding nodes share a fast out-of-band tunnel whose real length is
+//! many radio hops. During route discovery they replay RREQs across the
+//! tunnel, so routes through them advertise far fewer hops than any honest
+//! route and win the source's preference. The paper's threat model ("the
+//! wormhole nodes do not modify or fabricate packets") is preserved: the
+//! attackers only *relay*.
+//!
+//! Two classic variants are implemented:
+//!
+//! * [`WormholeMode::Participation`] — the paper's setup: the endpoints
+//!   take part in routing like ordinary nodes, so discovered routes
+//!   contain the tunneled link *between the two attackers* ("a route is
+//!   considered affected if it contains the tunneled link between the two
+//!   attackers"; SAM localizes the attackers as that link's endpoints).
+//! * [`WormholeMode::Hidden`] — an extension: the endpoints replay RREQs
+//!   *verbatim* without appending themselves, so the route set shows an
+//!   impossible one-hop link between a node near one endpoint and a node
+//!   near the other. SAM's statistics still fire; the suspect link then
+//!   names the attackers' neighbourhoods rather than the attackers.
+
+use manet_sim::{SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How the wormhole endpoints present themselves to the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum WormholeMode {
+    /// Endpoints participate in routing and appear on routes (paper mode).
+    Participation,
+    /// Endpoints replay verbatim and never appear on routes.
+    Hidden,
+}
+
+/// Data-plane behaviour of a wormhole endpoint once routes are captured.
+///
+/// A pure wormhole relays everything (the attack is the *attraction* of
+/// traffic); the paper notes the attackers "may perform various attacks,
+/// such as the black hole attacks (by dropping all data packets) and grey
+/// hole attacks (by selectively dropping data packets)" afterwards.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// Forward all data (pure wormhole).
+    Relay,
+    /// Drop every data packet (blackhole).
+    Blackhole,
+    /// Drop each data packet independently with this probability
+    /// (grayhole).
+    Grayhole(f64),
+}
+
+impl DropPolicy {
+    /// Sample a drop decision for one packet.
+    pub fn drops(self, rng: &mut impl rand::Rng) -> bool {
+        match self {
+            DropPolicy::Relay => false,
+            DropPolicy::Blackhole => true,
+            DropPolicy::Grayhole(p) => rng.random_bool(p.clamp(0.0, 1.0)),
+        }
+    }
+}
+
+/// Full configuration of one wormhole attack.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WormholeConfig {
+    /// Presentation mode.
+    pub mode: WormholeMode,
+    /// One-way tunnel latency. The default (0.2 ms) is faster than a
+    /// single radio hop, as a dedicated long-range/wired link would be.
+    pub tunnel_latency: SimDuration,
+    /// Post-capture data-plane behaviour.
+    pub drop: DropPolicy,
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        WormholeConfig {
+            mode: WormholeMode::Participation,
+            tunnel_latency: SimDuration::from_micros(200),
+            drop: DropPolicy::Relay,
+        }
+    }
+}
+
+impl WormholeConfig {
+    /// Paper-mode wormhole that additionally blackholes data — the
+    /// configuration SAM's step-2 probe test is designed to confirm.
+    pub fn blackholing() -> Self {
+        WormholeConfig {
+            drop: DropPolicy::Blackhole,
+            ..WormholeConfig::default()
+        }
+    }
+
+    /// Hidden-mode wormhole.
+    pub fn hidden() -> Self {
+        WormholeConfig {
+            mode: WormholeMode::Hidden,
+            ..WormholeConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drop_policy_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(!DropPolicy::Relay.drops(&mut rng));
+        assert!(DropPolicy::Blackhole.drops(&mut rng));
+        assert!(!DropPolicy::Grayhole(0.0).drops(&mut rng));
+        assert!(DropPolicy::Grayhole(1.0).drops(&mut rng));
+    }
+
+    #[test]
+    fn grayhole_drops_roughly_at_rate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = DropPolicy::Grayhole(0.3);
+        let drops = (0..10_000).filter(|_| p.drops(&mut rng)).count();
+        assert!((2_700..3_300).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn grayhole_probability_is_clamped() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // Out-of-range probabilities must not panic.
+        assert!(DropPolicy::Grayhole(7.0).drops(&mut rng));
+        assert!(!DropPolicy::Grayhole(-3.0).drops(&mut rng));
+    }
+
+    #[test]
+    fn default_config_is_paper_mode_pure_relay() {
+        let cfg = WormholeConfig::default();
+        assert_eq!(cfg.mode, WormholeMode::Participation);
+        assert_eq!(cfg.drop, DropPolicy::Relay);
+        assert!(cfg.tunnel_latency < SimDuration::from_millis(1));
+    }
+}

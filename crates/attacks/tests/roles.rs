@@ -1,0 +1,168 @@
+//! Integration tests for the non-wormhole attacker roles: rushing and
+//! early-reply fabrication (paper §IV's blackhole discussion).
+
+use manet_attacks::prelude::*;
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+
+fn grid_session(wiring: &AttackWiring, seed: u64) -> (NetworkPlan, Session<AttackNode>) {
+    let plan = uniform_grid(6, 6, 1);
+    let session = attack_session(
+        &plan,
+        RouterConfig::new(ProtocolKind::Mr),
+        wiring,
+        LatencyModel::default(),
+        seed,
+    );
+    (plan, session)
+}
+
+#[test]
+fn rusher_wins_the_first_copy_race() {
+    // Place a rusher in the middle of the grid: with a 10x speed
+    // advantage, the share of collected routes passing through it should
+    // far exceed its share in the honest system.
+    let rusher = grid_node(6, 2, 2);
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[2];
+    let dst = plan.dst_pool[2];
+
+    let through = |wiring: &AttackWiring, seed: u64| -> (f64, usize) {
+        let (_, mut session) = grid_session(wiring, seed);
+        let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+        let hit = out.routes.iter().filter(|r| r.contains(rusher)).count();
+        (hit as f64 / out.routes.len().max(1) as f64, out.routes.len())
+    };
+
+    let mut honest_sum = 0.0;
+    let mut rushed_sum = 0.0;
+    for seed in 0..5 {
+        honest_sum += through(&AttackWiring::none(), seed).0;
+        rushed_sum += through(&AttackWiring::none().with_rusher(rusher, 0.1), seed).0;
+    }
+    assert!(
+        rushed_sum > honest_sum,
+        "rushing share {rushed_sum:.2} should beat honest {honest_sum:.2}"
+    );
+}
+
+#[test]
+fn rusher_is_reported_as_attacker() {
+    let wiring = AttackWiring::none().with_rusher(NodeId(5), 0.2);
+    let node = wiring.build(RouterNode::new(NodeId(5), RouterConfig::new(ProtocolKind::Mr)));
+    assert!(node.is_attacker());
+    assert_eq!(node.router().latency_scale(), 0.2);
+    let legit = wiring.build(RouterNode::new(NodeId(6), RouterConfig::new(ProtocolKind::Mr)));
+    assert!(!legit.is_attacker());
+}
+
+#[test]
+fn fabricator_poisons_the_source_with_a_fake_route() {
+    // The fabricator claims adjacency to the destination; the source
+    // receives a short fake route whose final hop does not exist.
+    let fab = grid_node(6, 2, 3);
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[5];
+    assert!(
+        !plan.topology.are_neighbors(fab, dst),
+        "test needs the fabricated hop to be fake"
+    );
+
+    let wiring = AttackWiring::none().with_fabricator(fab);
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(ProtocolKind::Mr),
+        &wiring,
+        LatencyModel::default(),
+        3,
+    );
+    let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+
+    // The source's RREP-derived routes include the fabricated one.
+    let fake: Vec<&Route> = out
+        .source_routes
+        .iter()
+        .filter(|r| r.contains(fab))
+        .collect();
+    assert!(
+        !fake.is_empty(),
+        "fabricated route should have reached the source; got {:?}",
+        out.source_routes
+    );
+    let fake_route = fake[0].clone();
+    assert_eq!(fake_route.prev_hop(dst), Some(fab), "fab claims to neighbour dst");
+
+    // SAM's step-2 probe test exposes it: data down the fake route never
+    // arrives (the fabricator drops it; the fake hop doesn't exist).
+    let probe = session.probe(
+        &fake_route,
+        5,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(500),
+    );
+    assert_eq!(probe.acked, 0, "fabricated route must fail the probe test");
+
+    // An honest collected route still works.
+    let honest = out
+        .routes
+        .iter()
+        .find(|r| !r.contains(fab))
+        .expect("honest routes exist")
+        .clone();
+    let probe = session.probe(
+        &honest,
+        5,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(500),
+    );
+    assert_eq!(probe.acked, 5, "honest route must pass the probe test");
+}
+
+#[test]
+fn fabricator_never_forwards_the_flood() {
+    let fab = grid_node(6, 2, 3);
+    let plan = uniform_grid(6, 6, 1);
+    let wiring = AttackWiring::none().with_fabricator(fab);
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(ProtocolKind::Mr),
+        &wiring,
+        LatencyModel::default(),
+        5,
+    );
+    let out = session.discover(plan.src_pool[1], plan.dst_pool[1], DEFAULT_MAX_WAIT);
+    // No *collected* (destination-side) route passes through the
+    // fabricator: it never rebroadcasts.
+    for r in &out.routes {
+        assert!(!r.contains(fab), "fabricator forwarded into {r}");
+    }
+    let stats = session.node(fab).attack_stats().expect("attacker");
+    assert!(stats.rreps_fabricated >= 1, "it should have replied");
+}
+
+#[test]
+fn mr_destination_routes_are_immune_to_fabrication() {
+    // The paper's §IV point: MR's destination-side collection (SAM's
+    // input!) never contains fabricated routes — only the source's RREP
+    // view is poisoned, and step-2 probing cleans that.
+    let fab = grid_node(6, 3, 2);
+    let plan = uniform_grid(6, 6, 1);
+    let wiring = AttackWiring::none().with_fabricator(fab);
+    for seed in 0..4 {
+        let out = run_attacked_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            &wiring,
+            plan.src_pool[3],
+            plan.dst_pool[3],
+            seed,
+        );
+        for r in &out.routes {
+            assert!(!r.contains(fab), "seed {seed}: fabricated node on {r}");
+            for w in r.nodes().windows(2) {
+                assert!(plan.topology.are_neighbors(w[0], w[1]), "fake hop in collected set");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Component microbenches: the building blocks under the experiments.
+//!
+//! * discovery cost per topology/protocol (the simulator + routing stack),
+//! * SAM statistics extraction over large route sets,
+//! * PMF construction/comparison,
+//! * the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_attacks::prelude::*;
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+use sam::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn route_set(routes: usize, hops: usize) -> Vec<Route> {
+    // Synthetic fan: src 0, dst 1, intermediates unique per route except a
+    // shared "tunnel" pair (2, 3) on every route.
+    (0..routes)
+        .map(|r| {
+            let mut nodes = vec![NodeId(0), NodeId(2), NodeId(3)];
+            for h in 0..hops.saturating_sub(3) {
+                nodes.push(NodeId(100 + (r * hops + h) as u32));
+            }
+            nodes.push(NodeId(1));
+            Route::new(nodes).expect("synthetic route is valid")
+        })
+        .collect()
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    // Discovery cost per topology (normal vs wormholed, MR vs DSR).
+    for (name, plan) in [
+        ("cluster1", two_cluster(1)),
+        ("uniform6x6", uniform_grid(6, 6, 1)),
+        ("uniform10x6", uniform_grid(10, 6, 1)),
+    ] {
+        let src = plan.src_pool[0];
+        let dst = plan.dst_pool[0];
+        group.bench_with_input(
+            BenchmarkId::new("discovery_mr_normal", name),
+            &plan,
+            |b, plan| b.iter(|| black_box(run_discovery(plan, ProtocolKind::Mr, src, dst, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("discovery_dsr_normal", name),
+            &plan,
+            |b, plan| b.iter(|| black_box(run_discovery(plan, ProtocolKind::Dsr, src, dst, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("discovery_mr_wormholed", name),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    black_box(run_wormholed_discovery(
+                        plan,
+                        ProtocolKind::Mr,
+                        WormholeConfig::default(),
+                        src,
+                        dst,
+                        1,
+                    ))
+                })
+            },
+        );
+    }
+
+    // SAM statistics over growing route sets.
+    for n in [10usize, 100, 1000] {
+        let routes = route_set(n, 8);
+        group.bench_with_input(BenchmarkId::new("link_stats", n), &routes, |b, routes| {
+            b.iter(|| {
+                let s = LinkStats::from_routes(black_box(routes));
+                black_box((s.p_max(), s.delta(), s.suspect_link()))
+            })
+        });
+    }
+
+    // Full detector analysis.
+    let training: Vec<Vec<Route>> = (0..10).map(|_| route_set(20, 8)).collect();
+    let profile = NormalProfile::train(&training, 20);
+    let live = route_set(50, 8);
+    let detector = SamDetector::default();
+    group.bench_function("detector_analyze", |b| {
+        b.iter(|| black_box(detector.analyze(black_box(&live), &profile)))
+    });
+
+    // PMF build + compare.
+    let samples: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 / 100.0).collect();
+    group.bench_function("pmf_build_1000", |b| {
+        b.iter(|| black_box(Pmf::from_samples(20, black_box(&samples))))
+    });
+    let pa = Pmf::from_samples(20, &samples);
+    let pb = Pmf::from_samples(20, &samples[..500]);
+    group.bench_function("pmf_total_variation", |b| {
+        b.iter(|| black_box(pa.total_variation(&pb)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # sam-bench — shared helpers for the Criterion benchmark suite
+//!
+//! The benches regenerate every table and figure of the paper (via
+//! `sam-experiments`) under Criterion timing, plus ablations and
+//! component microbenches. Bench series lengths are reduced from the
+//! paper's 10 runs to keep `cargo bench` wall-clock sane; the `reproduce`
+//! binary is the tool for full-length regeneration.
+
+use sam_experiments::report::Table;
+
+/// Series length used inside benches (the paper uses 10; 3 keeps each
+/// Criterion sample under a second while exercising the same code path).
+pub const BENCH_RUNS: u64 = 3;
+
+/// Print a regenerated table once, so `cargo bench` output includes the
+/// actual rows each bench reproduces.
+pub fn show(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+}
+
+/// Run one experiment by id at bench scale.
+pub fn regenerate(id: &str) -> Vec<Table> {
+    sam_experiments::run_experiment(id, BENCH_RUNS)
+        .unwrap_or_else(|| panic!("unknown experiment {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regenerate_dispatches() {
+        let t = regenerate("fig9");
+        assert_eq!(t[0].id, "fig9");
+        show(&t); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = regenerate("nope");
+    }
+}

@@ -1,0 +1,380 @@
+//! The IDS agent model (paper §III.B, Fig. 4).
+//!
+//! Each node runs a local agent: **data collection** (the SAM module
+//! counting links over the routes of each multi-path discovery), **local
+//! detection** (the trained profile + soft decision λ and the eq. (8)–(9)
+//! profile update), and a **response module** that turns confirmed
+//! detections into alerts and isolation notices for the rest of the
+//! network. The agent is deliberately simulator-agnostic: feed it route
+//! sets, get actions back.
+
+use crate::detector::{SamAnalysis, SamConfig, SamDetector};
+use crate::procedure::{AttackReport, DetectionOutcome, Procedure, ProcedureConfig, ProbeTransport};
+use crate::profile::NormalProfile;
+use manet_routing::Route;
+use manet_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Messages the response module exchanges with the rest of the IDS — the
+/// "signalling messages between local detection and global coordinated
+/// detection".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ResponseMsg {
+    /// Broadcast alert: a wormhole was confirmed.
+    AttackAlert {
+        /// Endpoints of the attack link.
+        suspects: (NodeId, NodeId),
+        /// Confidence = `1 − λ`.
+        confidence: f64,
+    },
+    /// Ask the suspects' neighbours to stop forwarding for them.
+    IsolationRequest {
+        /// Nodes to isolate.
+        nodes: Vec<NodeId>,
+    },
+    /// Ask other agents to corroborate a suspicion that could not be
+    /// confirmed locally.
+    CollaborationRequest {
+        /// Endpoints of the suspicious link.
+        suspects: (NodeId, NodeId),
+        /// Local soft decision.
+        lambda: f64,
+    },
+}
+
+/// What the agent decided to do after one observation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum AgentAction {
+    /// Nothing notable; routing proceeds with the selected routes.
+    Proceed {
+        /// Routes handed back to the routing layer.
+        routes: Vec<Route>,
+    },
+    /// Suspicion raised but not confirmed: collaborate, route around.
+    Collaborate {
+        /// Message for the neighbours.
+        msg: ResponseMsg,
+        /// Safe routes to use meanwhile.
+        routes: Vec<Route>,
+    },
+    /// Attack confirmed: alert + isolation.
+    Respond {
+        /// The alert for the security authority / neighbours.
+        alert: ResponseMsg,
+        /// The isolation request.
+        isolation: ResponseMsg,
+        /// The detailed report.
+        report: AttackReport,
+    },
+}
+
+/// Operating phase of the agent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentPhase {
+    /// Accumulating normal-condition training data.
+    Training,
+    /// Profile frozen into service; detection active.
+    Operational,
+}
+
+/// Configuration of the agent.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Detector settings.
+    pub sam: SamConfig,
+    /// Procedure settings.
+    pub procedure: ProcedureConfig,
+    /// Forgetting factor β of eq. (8)–(9).
+    pub beta: f64,
+    /// Discoveries required before the agent leaves training.
+    pub training_target: usize,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            sam: SamConfig::default(),
+            procedure: ProcedureConfig::default(),
+            beta: 0.1,
+            training_target: 10,
+        }
+    }
+}
+
+/// One node's IDS agent with SAM as its local-detection data source.
+#[derive(Debug)]
+pub struct IdsAgent {
+    node: NodeId,
+    cfg: AgentConfig,
+    phase: AgentPhase,
+    training_sets: Vec<Vec<Route>>,
+    profile: NormalProfile,
+    /// λ history, most recent last (diagnostics / tests).
+    pub lambda_history: Vec<f64>,
+}
+
+impl IdsAgent {
+    /// A fresh (untrained) agent at `node`.
+    pub fn new(node: NodeId, cfg: AgentConfig) -> Self {
+        IdsAgent {
+            node,
+            cfg,
+            phase: AgentPhase::Training,
+            training_sets: Vec::new(),
+            profile: NormalProfile::train(&[], cfg.sam.pmf_bins),
+            lambda_history: Vec::new(),
+        }
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> AgentPhase {
+        self.phase
+    }
+
+    /// The current profile.
+    pub fn profile(&self) -> &NormalProfile {
+        &self.profile
+    }
+
+    /// Feed one training observation (a route set known/assumed normal).
+    /// When the training target is reached the profile is built and the
+    /// agent becomes operational.
+    pub fn observe_training(&mut self, routes: Vec<Route>) {
+        assert_eq!(
+            self.phase,
+            AgentPhase::Training,
+            "training observations only accepted during training"
+        );
+        self.training_sets.push(routes);
+        if self.training_sets.len() >= self.cfg.training_target {
+            self.profile = NormalProfile::train(&self.training_sets, self.cfg.sam.pmf_bins);
+            self.phase = AgentPhase::Operational;
+        }
+    }
+
+    /// Force the transition to operational with whatever training exists.
+    pub fn finish_training(&mut self) {
+        self.profile = NormalProfile::train(&self.training_sets, self.cfg.sam.pmf_bins);
+        self.phase = AgentPhase::Operational;
+    }
+
+    /// Run SAM + the detection procedure over one operational observation
+    /// and update the profile per eq. (8)–(9).
+    pub fn observe<T: ProbeTransport>(
+        &mut self,
+        routes: &[Route],
+        transport: &mut T,
+    ) -> AgentAction {
+        assert_eq!(
+            self.phase,
+            AgentPhase::Operational,
+            "finish training before operational observations"
+        );
+        let procedure = Procedure::new(SamDetector::new(self.cfg.sam), self.cfg.procedure);
+        let outcome = procedure.execute(routes, &self.profile, transport);
+
+        let (lambda, analysis): (f64, Option<&SamAnalysis>) = match &outcome {
+            DetectionOutcome::Normal { .. } => (1.0, None),
+            DetectionOutcome::SuspiciousUnconfirmed { analysis, .. }
+            | DetectionOutcome::Confirmed { analysis, .. } => (analysis.lambda, Some(analysis)),
+        };
+        self.lambda_history.push(lambda);
+
+        // Eq. (8)–(9): adapt the profile, weighted by λβ.
+        let features = match analysis {
+            Some(a) => a.features,
+            None => crate::stats::LinkStats::from_routes(routes).summary(),
+        };
+        self.profile
+            .adapt(features.p_max, features.delta, lambda, self.cfg.beta);
+        self.profile
+            .adapt_hops(features.mean_hops, lambda, self.cfg.beta);
+
+        match outcome {
+            DetectionOutcome::Normal { selected_routes } => AgentAction::Proceed {
+                routes: selected_routes,
+            },
+            DetectionOutcome::SuspiciousUnconfirmed {
+                analysis,
+                selected_routes,
+            } => {
+                let (a, b) = analysis
+                    .suspect_link
+                    .map(|l| l.endpoints())
+                    .unwrap_or((self.node, self.node));
+                AgentAction::Collaborate {
+                    msg: ResponseMsg::CollaborationRequest {
+                        suspects: (a, b),
+                        lambda: analysis.lambda,
+                    },
+                    routes: selected_routes,
+                }
+            }
+            DetectionOutcome::Confirmed { report, .. } => AgentAction::Respond {
+                alert: ResponseMsg::AttackAlert {
+                    suspects: report.suspect_link,
+                    confidence: 1.0 - report.lambda,
+                },
+                isolation: ResponseMsg::IsolationRequest {
+                    nodes: report.isolate.clone(),
+                },
+                report,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::all_ack_transport;
+
+    fn r(ids: &[u32]) -> Route {
+        Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+    }
+
+    fn normal_set(variant: u32) -> Vec<Route> {
+        // Three spread routes; `variant` perturbs one intermediate.
+        let v = 10 + (variant % 3);
+        vec![
+            r(&[0, 1, 2, 9]),
+            r(&[0, 3, v, 9]),
+            r(&[0, 5, 6, 9]),
+        ]
+    }
+
+    fn attacked_set() -> Vec<Route> {
+        vec![
+            r(&[0, 7, 8, 9]),
+            r(&[0, 1, 7, 8, 9]),
+            r(&[0, 3, 7, 8, 9]),
+            r(&[0, 5, 7, 8, 9]),
+        ]
+    }
+
+    fn trained_agent() -> IdsAgent {
+        let cfg = AgentConfig {
+            training_target: 5,
+            ..AgentConfig::default()
+        };
+        let mut agent = IdsAgent::new(NodeId(9), cfg);
+        for i in 0..5 {
+            agent.observe_training(normal_set(i));
+        }
+        assert_eq!(agent.phase(), AgentPhase::Operational);
+        agent
+    }
+
+    #[test]
+    fn agent_trains_then_operates() {
+        let agent = trained_agent();
+        assert!(agent.profile().is_trained());
+    }
+
+    #[test]
+    fn normal_observation_proceeds_and_keeps_lambda_high() {
+        let mut agent = trained_agent();
+        let mut t = all_ack_transport();
+        match agent.observe(&normal_set(7), &mut t) {
+            AgentAction::Proceed { routes } => assert!(!routes.is_empty()),
+            other => panic!("expected Proceed, got {other:?}"),
+        }
+        assert!(agent.lambda_history.last().copied().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn attack_observation_responds_with_alert_and_isolation() {
+        let mut agent = trained_agent();
+        let mut t = all_ack_transport();
+        match agent.observe(&attacked_set(), &mut t) {
+            AgentAction::Respond {
+                alert,
+                isolation,
+                report,
+            } => {
+                assert_eq!(report.suspect_link, (NodeId(7), NodeId(8)));
+                match alert {
+                    ResponseMsg::AttackAlert { confidence, .. } => assert!(confidence > 0.8),
+                    other => panic!("bad alert {other:?}"),
+                }
+                match isolation {
+                    ResponseMsg::IsolationRequest { nodes } => {
+                        assert_eq!(nodes, vec![NodeId(7), NodeId(8)])
+                    }
+                    other => panic!("bad isolation {other:?}"),
+                }
+            }
+            other => panic!("expected Respond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attack_observations_do_not_poison_the_profile() {
+        let mut agent = trained_agent();
+        let before = agent.profile().p_max.mean;
+        let mut t = all_ack_transport();
+        for _ in 0..20 {
+            agent.observe(&attacked_set(), &mut t);
+        }
+        let after = agent.profile().p_max.mean;
+        // λ ≈ 0 during attacks ⇒ eq. (8) barely moves the mean.
+        assert!(
+            (after - before).abs() < 0.05,
+            "profile drifted from {before} to {after} under attack"
+        );
+        // And the attack is still detected afterwards.
+        match agent.observe(&attacked_set(), &mut t) {
+            AgentAction::Respond { .. } => {}
+            other => panic!("detection lost after attack stream: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_tracks_slow_normal_drift() {
+        let mut agent = trained_agent();
+        let before = agent.profile().p_max.mean;
+        let mut t = all_ack_transport();
+        for i in 0..30 {
+            agent.observe(&normal_set(i), &mut t);
+        }
+        // Normal observations keep λ high, so the profile keeps adapting
+        // (means may move a little; what matters is it doesn't freeze NaN
+        // or run away).
+        let after = agent.profile().p_max.mean;
+        assert!(after.is_finite());
+        assert!((after - before).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish training")]
+    fn operational_observe_requires_training_done() {
+        let mut agent = IdsAgent::new(NodeId(1), AgentConfig::default());
+        let mut t = all_ack_transport();
+        let _ = agent.observe(&attacked_set(), &mut t);
+    }
+
+    #[test]
+    fn finish_training_early_works() {
+        let mut agent = IdsAgent::new(NodeId(1), AgentConfig::default());
+        agent.observe_training(normal_set(0));
+        agent.finish_training();
+        assert_eq!(agent.phase(), AgentPhase::Operational);
+        assert!(agent.profile().is_trained());
+    }
+
+    #[test]
+    fn response_messages_serialize() {
+        let msg = ResponseMsg::AttackAlert {
+            suspects: (NodeId(1), NodeId(2)),
+            confidence: 0.93,
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: ResponseMsg = serde_json::from_str(&json).unwrap();
+        assert_eq!(msg, back);
+    }
+}

@@ -1,0 +1,376 @@
+//! Link-frequency statistics over a route set — the paper's equations
+//! (1)–(7).
+//!
+//! For the route set `R` of one discovery with links `L = {l_i}`:
+//!
+//! * `n_i` — times link `l_i` appears across `R` (eq. 2's summands),
+//! * `N = Σ n_i` — total non-distinct links (eq. 2),
+//! * `p_i = n_i / N` — relative frequency (eq. 1),
+//! * `p_max = max_i p_i` (eq. 3),
+//! * `n_max, n_2nd` (eq. 4–6), and
+//! * `Δ = (n_max − n_2nd) / n_max` (eq. 7).
+//!
+//! Under a wormhole the tunneled link rides on almost every route, so both
+//! `p_max` and `Δ` jump; the attackers are the endpoints of the
+//! most-frequent link.
+
+use manet_routing::Route;
+use manet_sim::{Link, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The endpoints every route of a discovery shares: `(src, dst)` when all
+/// routes agree, `None` per side otherwise (or for an empty set). This is
+/// what SAM excludes when localizing the attack link.
+pub fn common_endpoints(routes: &[Route]) -> (Option<NodeId>, Option<NodeId>) {
+    let Some(first) = routes.first() else {
+        return (None, None);
+    };
+    let src = first.src();
+    let dst = first.dst();
+    (
+        routes.iter().all(|r| r.src() == src).then_some(src),
+        routes.iter().all(|r| r.dst() == dst).then_some(dst),
+    )
+}
+
+/// Link-frequency table of one route set.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    counts: HashMap<Link, u32>,
+    total: u64,
+    routes: usize,
+}
+
+impl LinkStats {
+    /// Tally all links of `routes`.
+    pub fn from_routes(routes: &[Route]) -> Self {
+        let mut counts: HashMap<Link, u32> = HashMap::new();
+        let mut total = 0u64;
+        for route in routes {
+            for link in route.links() {
+                *counts.entry(link).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        LinkStats {
+            counts,
+            total,
+            routes: routes.len(),
+        }
+    }
+
+    /// Number of routes tallied (`|R|`).
+    pub fn route_count(&self) -> usize {
+        self.routes
+    }
+
+    /// Number of distinct links (`|L|`).
+    pub fn distinct_links(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total non-distinct link count (`N`, eq. 2).
+    pub fn total_links(&self) -> u64 {
+        self.total
+    }
+
+    /// Occurrence count of one link (`n_i`).
+    pub fn count(&self, link: Link) -> u32 {
+        self.counts.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of one link (`p_i`, eq. 1).
+    pub fn relative_frequency(&self, link: Link) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        f64::from(self.count(link)) / self.total as f64
+    }
+
+    /// All `(link, n_i)` pairs, unordered.
+    pub fn counts(&self) -> impl Iterator<Item = (Link, u32)> + '_ {
+        self.counts.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// All relative frequencies `n_i / N`, unordered — the samples whose
+    /// PMF the paper plots in Fig. 5.
+    pub fn relative_frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let n = self.total as f64;
+        self.counts.values().map(|&c| f64::from(c) / n).collect()
+    }
+
+    /// The two largest counts `(n_max, n_2nd)`; zero-filled when there are
+    /// fewer than two distinct links.
+    pub fn top_two(&self) -> (u32, u32) {
+        let mut best = 0u32;
+        let mut second = 0u32;
+        for &c in self.counts.values() {
+            if c > best {
+                second = best;
+                best = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        (best, second)
+    }
+
+    /// `p_max` (eq. 3). Zero for an empty route set.
+    pub fn p_max(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        f64::from(self.top_two().0) / self.total as f64
+    }
+
+    /// `Δ = (n_max − n_2nd)/n_max` (eq. 7). Zero when the top two counts
+    /// tie — the paper's special case "when the attackers locate at the
+    /// same row or column of the source node or destination node" — and
+    /// zero for an empty set.
+    pub fn delta(&self) -> f64 {
+        let (nmax, n2nd) = self.top_two();
+        if nmax == 0 {
+            return 0.0;
+        }
+        f64::from(nmax - n2nd) / f64::from(nmax)
+    }
+
+    /// The most frequent link — SAM's attacker localization ("the
+    /// malicious nodes can be identified by the attack link which has the
+    /// highest relative frequency"). Ties broken by normalized link order
+    /// for determinism.
+    pub fn suspect_link(&self) -> Option<Link> {
+        self.counts
+            .iter()
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then_with(|| lb.cmp(la)))
+            .map(|(&l, _)| l)
+    }
+
+    /// Like [`LinkStats::suspect_link`], but prefer links **not incident
+    /// to `exclude`** (typically the discovery's source and destination):
+    /// every route starts and ends there, so endpoint-adjacent links are
+    /// trivially frequent and can tie with the attack link when an
+    /// attacker happens to sit within radio range of an endpoint. The
+    /// destination runs SAM and knows both endpoints, so the exclusion
+    /// costs nothing. Falls back to the global mode when exclusion leaves
+    /// no candidate.
+    pub fn suspect_link_excluding(&self, exclude: &[NodeId]) -> Option<Link> {
+        self.counts
+            .iter()
+            .filter(|(l, _)| !exclude.iter().any(|&n| l.touches(n)))
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then_with(|| lb.cmp(la)))
+            .map(|(&l, _)| l)
+            .or_else(|| self.suspect_link())
+    }
+
+    /// All links tied for the (exclusion-filtered) maximum count, sorted
+    /// for determinism. When the captured routes share a prefix through
+    /// the attackers (the source sits next to a wormhole endpoint), the
+    /// whole shared chain ties at `n_max`; statistics alone cannot split
+    /// the tie, so localization reports the tied set and step 2's probes
+    /// narrow it down.
+    pub fn top_links_excluding(&self, exclude: &[NodeId]) -> Vec<Link> {
+        let candidates: Vec<(Link, u32)> = self
+            .counts
+            .iter()
+            .filter(|(l, _)| !exclude.iter().any(|&n| l.touches(n)))
+            .map(|(&l, &c)| (l, c))
+            .collect();
+        let max = candidates.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        if max == 0 {
+            return self.suspect_link().into_iter().collect();
+        }
+        let mut v: Vec<Link> = candidates
+            .into_iter()
+            .filter(|&(_, c)| c == max)
+            .map(|(l, _)| l)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Mean route length in hops. Since every hop contributes one link,
+    /// this is simply `N / |R|`. Not one of the paper's two features, but
+    /// the paper invites extensions ("the statistical analysis method …
+    /// may be applied to any routing attacks as long as certain statistics
+    /// of the obtained routes change significantly") — and a wormhole
+    /// shortens routes dramatically, which catches the hidden-replay
+    /// variant whose link signature is diluted across neighbour pairs.
+    pub fn mean_hops(&self) -> f64 {
+        if self.routes == 0 {
+            return 0.0;
+        }
+        self.total as f64 / self.routes as f64
+    }
+
+    /// Summarize into the serializable feature vector.
+    pub fn summary(&self) -> RouteSetFeatures {
+        RouteSetFeatures {
+            routes: self.routes,
+            distinct_links: self.distinct_links(),
+            total_links: self.total,
+            p_max: self.p_max(),
+            delta: self.delta(),
+            mean_hops: self.mean_hops(),
+            suspect_link: self.suspect_link().map(|l| (l.lo().0, l.hi().0)),
+        }
+    }
+}
+
+/// The feature vector SAM extracts from one route discovery — what the SAM
+/// module "transfers … to the local detection module".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteSetFeatures {
+    /// `|R|`.
+    pub routes: usize,
+    /// `|L|`.
+    pub distinct_links: usize,
+    /// `N`.
+    pub total_links: u64,
+    /// Eq. 3.
+    pub p_max: f64,
+    /// Eq. 7.
+    pub delta: f64,
+    /// Mean route length (`N / |R|`) — the extension feature.
+    pub mean_hops: f64,
+    /// Endpoints of the most frequent link.
+    pub suspect_link: Option<(u32, u32)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::NodeId;
+
+    fn r(ids: &[u32]) -> Route {
+        Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let s = LinkStats::from_routes(&[]);
+        assert_eq!(s.total_links(), 0);
+        assert_eq!(s.p_max(), 0.0);
+        assert_eq!(s.delta(), 0.0);
+        assert_eq!(s.suspect_link(), None);
+        assert!(s.relative_frequencies().is_empty());
+    }
+
+    #[test]
+    fn counts_match_hand_computation() {
+        // Routes: 0-1-2-5 and 0-1-3-5. Link 0-1 appears twice; the other
+        // four links once each. N = 6.
+        let routes = vec![r(&[0, 1, 2, 5]), r(&[0, 1, 3, 5])];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(s.route_count(), 2);
+        assert_eq!(s.distinct_links(), 5);
+        assert_eq!(s.total_links(), 6);
+        assert_eq!(s.count(Link::new(NodeId(0), NodeId(1))), 2);
+        assert_eq!(s.count(Link::new(NodeId(1), NodeId(2))), 1);
+        assert_eq!(s.count(Link::new(NodeId(9), NodeId(8))), 0);
+        assert!((s.p_max() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.delta() - 0.5).abs() < 1e-12);
+        assert_eq!(s.suspect_link(), Some(Link::new(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn relative_frequencies_sum_to_one() {
+        let routes = vec![r(&[0, 1, 2]), r(&[0, 3, 2]), r(&[0, 1, 4, 2])];
+        let s = LinkStats::from_routes(&routes);
+        let sum: f64 = s.relative_frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_zero_on_tie() {
+        // Two disjoint 2-hop routes: all counts are 1 → n_max = n_2nd.
+        let routes = vec![r(&[0, 1, 5]), r(&[0, 2, 5])];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(s.delta(), 0.0);
+    }
+
+    #[test]
+    fn delta_is_one_for_single_distinct_link() {
+        let routes = vec![r(&[0, 1]), r(&[0, 1])];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(s.delta(), 1.0);
+        assert_eq!(s.p_max(), 1.0);
+    }
+
+    #[test]
+    fn wormhole_like_set_has_high_features() {
+        // Simulated capture: the link 7-8 rides on every route.
+        let routes = vec![
+            r(&[0, 7, 8, 5]),
+            r(&[0, 1, 7, 8, 5]),
+            r(&[0, 2, 7, 8, 5]),
+            r(&[0, 3, 7, 8, 4, 5]),
+        ];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(s.suspect_link(), Some(Link::new(NodeId(7), NodeId(8))));
+        assert!(s.p_max() > 0.2);
+        // The link 8-5 near the destination is also frequent (n=3 vs the
+        // tunnel's 4), so Δ = 1/4 — still clearly positive.
+        assert!(s.delta() >= 0.2);
+    }
+
+    #[test]
+    fn suspect_tie_break_is_deterministic() {
+        let routes = vec![r(&[0, 1, 2])]; // links 0-1 and 1-2, both ×1
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(s.suspect_link(), Some(Link::new(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn common_endpoints_detects_shared_and_mixed() {
+        let a = r(&[0, 1, 9]);
+        let b = r(&[0, 2, 9]);
+        let c = r(&[3, 2, 9]);
+        assert_eq!(
+            common_endpoints(&[a.clone(), b.clone()]),
+            (Some(NodeId(0)), Some(NodeId(9)))
+        );
+        assert_eq!(common_endpoints(&[a, c]), (None, Some(NodeId(9))));
+        assert_eq!(common_endpoints(&[]), (None, None));
+    }
+
+    #[test]
+    fn suspect_excluding_skips_endpoint_links() {
+        // 0-1 is the global mode (×2) but touches the source; interior
+        // link 1-2 (×2) should win under exclusion.
+        let routes = vec![r(&[0, 1, 2, 9]), r(&[0, 1, 2, 5, 9]), r(&[0, 3, 4, 9])];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(
+            s.suspect_link_excluding(&[NodeId(0), NodeId(9)]),
+            Some(Link::new(NodeId(1), NodeId(2)))
+        );
+        // With nothing excluded, ties go to the smallest link.
+        assert_eq!(s.suspect_link(), Some(Link::new(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn suspect_excluding_falls_back_when_everything_is_excluded() {
+        let routes = vec![r(&[0, 9])];
+        let s = LinkStats::from_routes(&routes);
+        assert_eq!(
+            s.suspect_link_excluding(&[NodeId(0), NodeId(9)]),
+            Some(Link::new(NodeId(0), NodeId(9))),
+            "fallback to global mode"
+        );
+    }
+
+    #[test]
+    fn summary_round_trips_fields() {
+        let routes = vec![r(&[0, 1, 2, 5]), r(&[0, 1, 3, 5])];
+        let s = LinkStats::from_routes(&routes);
+        let f = s.summary();
+        assert_eq!(f.routes, 2);
+        assert_eq!(f.distinct_links, 5);
+        assert_eq!(f.total_links, 6);
+        assert_eq!(f.suspect_link, Some((0, 1)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--runs N] [--out DIR] [EXPERIMENT_ID ...]
+//! ```
+//!
+//! With no ids, every experiment runs. Each produces an ASCII table on
+//! stdout and `<DIR>/<id>.json` + `<DIR>/<id>.txt` (default `results/`).
+
+use sam_experiments::{run_experiment, ALL_IDS};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    runs: u64,
+    out: PathBuf,
+    ids: Vec<String>,
+}
+
+enum Parsed {
+    /// Run these experiments.
+    Run(Args),
+    /// Print this and exit successfully (--help / --list).
+    Info(String),
+    /// Print this to stderr and exit with failure.
+    Error(String),
+}
+
+fn parse_args() -> Parsed {
+    let mut runs = 10u64;
+    let mut out = PathBuf::from("results");
+    let mut ids = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--runs needs a value".into());
+                };
+                match v.parse() {
+                    Ok(n) => runs = n,
+                    Err(_) => return Parsed::Error(format!("bad --runs value: {v}")),
+                }
+            }
+            "--out" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--out needs a value".into());
+                };
+                out = PathBuf::from(v);
+            }
+            "--list" => {
+                return Parsed::Info(ALL_IDS.join("\n"));
+            }
+            "--help" | "-h" => {
+                return Parsed::Info(format!(
+                    "usage: reproduce [--runs N] [--out DIR] [--list] [ID ...]\n  known ids: {}",
+                    ALL_IDS.join(", ")
+                ));
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    Parsed::Run(Args { runs, out, ids })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Parsed::Run(a) => a,
+        Parsed::Info(msg) => {
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+        Parsed::Error(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for id in &args.ids {
+        let started = std::time::Instant::now();
+        let Some(tables) = run_experiment(id, args.runs) else {
+            eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
+            failed = true;
+            continue;
+        };
+        let mut text = String::new();
+        for t in &tables {
+            text.push_str(&t.render());
+            text.push('\n');
+            let json_path = args.out.join(format!("{}.json", t.id));
+            if let Err(e) = std::fs::write(&json_path, t.to_json()) {
+                eprintln!("write {}: {e}", json_path.display());
+                failed = true;
+            }
+            if let Some(svg) = sam_experiments::svg::chart(t) {
+                let svg_path = args.out.join(format!("{}.svg", t.id));
+                if let Err(e) = std::fs::write(&svg_path, svg) {
+                    eprintln!("write {}: {e}", svg_path.display());
+                    failed = true;
+                }
+            }
+        }
+        print!("{text}");
+        println!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        let txt_path = args.out.join(format!("{id}.txt"));
+        match std::fs::File::create(&txt_path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(text.as_bytes()) {
+                    eprintln!("write {}: {e}", txt_path.display());
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("create {}: {e}", txt_path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,74 @@
+//! **Fig. 15** — `p_max` of a network under no / one / two wormhole
+//! attacks (§III.D "Multiple wormhole attacks").
+//!
+//! Expected shape: `p_max` is much higher in both attacked systems than in
+//! the normal one, and "the variance of p_max becomes bigger as the number
+//! of wormholes increases" (routes split between two attractive tunnels).
+//!
+//! Topology: the 6×10 uniform grid; the second pair mirrors the first
+//! across the grid's horizontal midline (see
+//! [`runner::build_plan`](crate::runner::build_plan)).
+
+use crate::report::{Cell, Table};
+use crate::runner::{mean_of, run_series, RunRecord};
+use crate::scenario::{ScenarioSpec, TopologyKind};
+use manet_routing::ProtocolKind;
+
+fn variance(records: &[RunRecord], f: impl Fn(&RunRecord) -> f64 + Copy) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let m = mean_of(records, f);
+    records.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>() / records.len() as f64
+}
+
+/// Run the experiment.
+pub fn run(runs: u64) -> Table {
+    let base = ScenarioSpec::normal(TopologyKind::uniform10x6(), ProtocolKind::Mr);
+    let series: Vec<(usize, Vec<RunRecord>)> = (0..=2)
+        .map(|n| (n, run_series(&base.with_wormholes(n), runs)))
+        .collect();
+
+    let mut table = Table::new(
+        "fig15",
+        "p_max of a network under no/one/two wormhole attacks (MR)",
+        vec!["run", "no wormhole", "one wormhole", "two wormholes"],
+    );
+    for i in 0..runs as usize {
+        table.push_row(vec![
+            Cell::Int(i as i64 + 1),
+            Cell::Num(series[0].1[i].p_max),
+            Cell::Num(series[1].1[i].p_max),
+            Cell::Num(series[2].1[i].p_max),
+        ]);
+    }
+    table.push_row(vec![
+        Cell::from("avg"),
+        Cell::Num(mean_of(&series[0].1, |r| r.p_max)),
+        Cell::Num(mean_of(&series[1].1, |r| r.p_max)),
+        Cell::Num(mean_of(&series[2].1, |r| r.p_max)),
+    ]);
+    table.note(format!(
+        "p_max variance: none {:.5}, one {:.5}, two {:.5} (paper: variance grows with wormhole count)",
+        variance(&series[0].1, |r| r.p_max),
+        variance(&series[1].1, |r| r.p_max),
+        variance(&series[2].1, |r| r.p_max)
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_attack_raises_p_max_over_normal() {
+        let base = ScenarioSpec::normal(TopologyKind::uniform10x6(), ProtocolKind::Mr);
+        let none = run_series(&base, 4);
+        let one = run_series(&base.with_wormholes(1), 4);
+        let two = run_series(&base.with_wormholes(2), 4);
+        let m = |v: &[RunRecord]| mean_of(v, |r| r.p_max);
+        assert!(m(&one) > m(&none), "one {} vs none {}", m(&one), m(&none));
+        assert!(m(&two) > m(&none), "two {} vs none {}", m(&two), m(&none));
+    }
+}

@@ -1,0 +1,115 @@
+//! **Fig. 9** — a network with random topology: the node placement itself.
+//!
+//! The paper plots the `(X, Y)` coordinates randomly generated in a square
+//! area; we emit them as a table (plus the attacker positions), which is
+//! the plot's data.
+
+use crate::report::{Cell, Table};
+use crate::scenario::{derive_seed, ScenarioSpec, TopologyKind};
+use manet_routing::ProtocolKind;
+use manet_sim::NetworkPlan;
+
+/// Render the plan as an ASCII scatter plot (the actual "figure"):
+/// `A` = wormhole endpoint, `S`/`D` = source/destination pool member,
+/// `o` = other node.
+pub fn ascii_map(plan: &NetworkPlan, cols: usize, rows: usize) -> Vec<String> {
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for p in plan.topology.positions() {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let w = (max_x - min_x).max(1e-9);
+    let h = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![b' '; cols]; rows];
+    let attackers = plan.attacker_nodes();
+    for id in plan.topology.nodes() {
+        let p = plan.topology.position(id);
+        let cx = (((p.x - min_x) / w) * (cols - 1) as f64).round() as usize;
+        // Flip y so "up" in the plan is up on screen.
+        let cy = (rows - 1) - (((p.y - min_y) / h) * (rows - 1) as f64).round() as usize;
+        let glyph = if attackers.contains(&id) {
+            b'A'
+        } else if plan.src_pool.contains(&id) {
+            b'S'
+        } else if plan.dst_pool.contains(&id) {
+            b'D'
+        } else {
+            b'o'
+        };
+        // Attackers always win the cell; pools beat plain nodes.
+        let cell = &mut grid[cy][cx];
+        let rank = |g: u8| match g {
+            b'A' => 3,
+            b'S' | b'D' => 2,
+            b'o' => 1,
+            _ => 0,
+        };
+        if rank(glyph) > rank(*cell) {
+            *cell = glyph;
+        }
+    }
+    grid.into_iter()
+        .map(|row| String::from_utf8(row).expect("ascii"))
+        .collect()
+}
+
+/// Run the experiment: materialize the run-0 random topology.
+pub fn run(run_idx: u64) -> Table {
+    let spec = ScenarioSpec::normal(TopologyKind::Random, ProtocolKind::Mr);
+    let plan = TopologyKind::Random.build(derive_seed(spec.base_seed, run_idx));
+    let attackers = plan.attacker_nodes();
+
+    let mut table = Table::new(
+        "fig9",
+        "A network with random topology: node coordinates",
+        vec!["node", "x", "y", "role"],
+    );
+    for id in plan.topology.nodes() {
+        let p = plan.topology.position(id);
+        let role = if attackers.contains(&id) {
+            "attacker"
+        } else if plan.src_pool.contains(&id) {
+            "src-pool"
+        } else if plan.dst_pool.contains(&id) {
+            "dst-pool"
+        } else {
+            "node"
+        };
+        table.push_row(vec![
+            Cell::Str(id.to_string()),
+            Cell::Num(p.x),
+            Cell::Num(p.y),
+            Cell::from(role),
+        ]);
+    }
+    table.note(format!(
+        "radio range {:.3}; tunnel spans {} hops",
+        plan.topology.range(),
+        plan.tunnel_span_hops(0).unwrap_or(0)
+    ));
+    table.note("map (A = attacker, S/D = source/destination pool, o = node):");
+    for line in ascii_map(&plan, 64, 20) {
+        table.note(format!("|{line}|"));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_table_lists_every_node_once() {
+        let t = run(0);
+        let plan = TopologyKind::Random.build(derive_seed(0x5A4D, 0));
+        assert_eq!(t.rows.len(), plan.topology.len());
+        let attackers = t
+            .rows
+            .iter()
+            .filter(|r| r[3] == Cell::from("attacker"))
+            .count();
+        assert_eq!(attackers, 2);
+    }
+}

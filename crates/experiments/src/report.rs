@@ -1,0 +1,194 @@
+//! Experiment result tables: a uniform representation for every table and
+//! figure of the paper, renderable as ASCII and serializable to JSON so
+//! EXPERIMENTS.md numbers are regenerable and diffable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One table cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Free text.
+    Str(String),
+    /// A number rendered with 3 decimals (percentages, frequencies).
+    Num(f64),
+    /// An integer (counts, overheads).
+    Int(i64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Num(v) => format!("{v:.3}"),
+            Cell::Int(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+/// A rendered experiment artifact (one per paper table/figure).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"table1"` or `"fig6"`.
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Free-form notes: expected shape, substitutions, observations.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<impl Into<String>>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the column count.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render to aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", "demo", vec!["run", "p_max"]);
+        t.push_row(vec![Cell::Int(1), Cell::Num(0.25)]);
+        t.push_row(vec![Cell::from("avg"), Cell::Num(0.25)]);
+        t.note("expected: flat");
+        t
+    }
+
+    #[test]
+    fn render_contains_all_parts() {
+        let s = sample().render();
+        assert!(s.contains("## t — demo"));
+        assert!(s.contains("run"));
+        assert!(s.contains("0.250"));
+        assert!(s.contains("avg"));
+        assert!(s.contains("note: expected: flat"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample();
+        let back: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.columns, t.columns);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", vec!["a", "b"]);
+        t.push_row(vec![Cell::Int(1)]);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from(3u64), Cell::Int(3));
+        assert_eq!(Cell::from(0.5), Cell::Num(0.5));
+        assert_eq!(Cell::from("x"), Cell::Str("x".into()));
+    }
+}

@@ -1,0 +1,250 @@
+//! Run executor: one simulated discovery per run, paired normal/attacked,
+//! parallel across runs.
+
+use crate::scenario::{derive_seed, draw_endpoints, ScenarioSpec};
+use manet_attacks::prelude::*;
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+use parking_lot::Mutex;
+use sam::LinkStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Run index (the paper's "Run 1..10").
+    pub run: u64,
+    /// Drawn source.
+    pub src: NodeId,
+    /// Drawn destination.
+    pub dst: NodeId,
+    /// Routes collected at the destination.
+    pub n_routes: usize,
+    /// SAM feature `p_max` of the route set.
+    pub p_max: f64,
+    /// SAM feature `Δ` of the route set.
+    pub delta: f64,
+    /// Fraction of routes containing any active tunnel link (Table I).
+    pub affected: f64,
+    /// Total tx+rx at all nodes for this discovery (Table II).
+    pub overhead: u64,
+    /// Whether SAM's suspect link is exactly an active tunnel link
+    /// (`None` for normal runs, where there is nothing to localize).
+    pub suspect_is_tunnel: Option<bool>,
+}
+
+/// Build the plan for a spec/run, growing extra wormhole pairs if the
+/// scenario asks for more than the generator placed.
+///
+/// Extra pairs mirror the first pair across the deployment's horizontal
+/// midline (or sit at ¾ height when the first pair already lies on the
+/// midline), preserving the "long tunnel, ordinary local connectivity"
+/// property.
+pub fn build_plan(spec: &ScenarioSpec, run: u64) -> NetworkPlan {
+    let run_seed = derive_seed(spec.base_seed, run);
+    let mut plan = spec.topology.build(run_seed);
+    while plan.attacker_pairs.len() < spec.active_wormholes {
+        let first = plan.attacker_pairs[0];
+        let pa = plan.topology.position(first.a);
+        let pb = plan.topology.position(first.b);
+        let (min_y, max_y) = plan
+            .topology
+            .positions()
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+                (lo.min(p.y), hi.max(p.y))
+            });
+        let mirror = |y: f64| {
+            let m = max_y + min_y - y;
+            if (m - y).abs() < 1.0 {
+                min_y + 0.75 * (max_y - min_y)
+            } else {
+                m
+            }
+        };
+        plan = plan.with_additional_pair(
+            Pos::new(pa.x, mirror(pa.y)),
+            Pos::new(pb.x, mirror(pb.y)),
+        );
+        debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+    }
+    plan
+}
+
+/// Execute one run; returns the record and the collected route set (the
+/// latter feeds Fig. 5's PMFs and profile training).
+pub fn run_once_with_routes(spec: &ScenarioSpec, run: u64) -> (RunRecord, Vec<Route>) {
+    run_once_configured(
+        spec,
+        run,
+        &RouterConfig::new(spec.protocol),
+        WormholeConfig::default(),
+    )
+}
+
+/// Execute one run with explicit router and wormhole configurations (the
+/// ablation benches sweep these).
+pub fn run_once_configured(
+    spec: &ScenarioSpec,
+    run: u64,
+    router_cfg: &RouterConfig,
+    worm_cfg: WormholeConfig,
+) -> (RunRecord, Vec<Route>) {
+    let run_seed = derive_seed(spec.base_seed, run);
+    let plan = build_plan(spec, run);
+    let (src, dst) = draw_endpoints(&plan, run_seed);
+
+    let active: Vec<usize> = (0..spec.active_wormholes).collect();
+    let wiring = if active.is_empty() {
+        AttackWiring::none()
+    } else {
+        AttackWiring::from_plan(&plan, &active, worm_cfg)
+    };
+    let mut session = attack_session(
+        &plan,
+        router_cfg.clone(),
+        &wiring,
+        LatencyModel::default(),
+        run_seed,
+    );
+    let outcome = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    assert!(
+        !outcome.truncated,
+        "engine event cap hit for {spec:?} run {run}"
+    );
+
+    let stats = LinkStats::from_routes(&outcome.routes);
+    let active_pairs: Vec<AttackerPair> = plan.attacker_pairs[..spec.active_wormholes].to_vec();
+    let affected = affected_fraction_any(&outcome.routes, &active_pairs);
+    let suspect_is_tunnel = if active_pairs.is_empty() {
+        None
+    } else {
+        // Localize the way the detector does: ignore endpoint-adjacent
+        // links and count success if the tunnel is among the links tied
+        // for the maximum (a shared capture prefix ties the whole chain).
+        let top = stats.top_links_excluding(&[src, dst]);
+        Some(
+            active_pairs
+                .iter()
+                .any(|&p| top.contains(&tunnel_link(p))),
+        )
+    };
+
+    let record = RunRecord {
+        run,
+        src,
+        dst,
+        n_routes: outcome.routes.len(),
+        p_max: stats.p_max(),
+        delta: stats.delta(),
+        affected,
+        overhead: outcome.overhead,
+        suspect_is_tunnel,
+    };
+    (record, outcome.routes)
+}
+
+/// Execute one run, discarding the route set.
+pub fn run_once(spec: &ScenarioSpec, run: u64) -> RunRecord {
+    run_once_with_routes(spec, run).0
+}
+
+/// Execute runs `0..n` in parallel (one independent simulation each) and
+/// return the records in run order.
+pub fn run_series(spec: &ScenarioSpec, n: u64) -> Vec<RunRecord> {
+    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; n as usize]);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n as usize)
+        .max(1);
+    crossbeam::thread::scope(|s| {
+        for t in 0..threads {
+            let results = &results;
+            s.spawn(move |_| {
+                let mut run = t as u64;
+                while run < n {
+                    let rec = run_once(spec, run);
+                    results.lock()[run as usize] = Some(rec);
+                    run += threads as u64;
+                }
+            });
+        }
+    })
+    .expect("run worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all runs executed"))
+        .collect()
+}
+
+/// Mean of a field over a series.
+pub fn mean_of(records: &[RunRecord], f: impl Fn(&RunRecord) -> f64) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(f).sum::<f64>() / records.len() as f64
+}
+
+/// The paper's standard series length.
+pub const PAPER_RUNS: u64 = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TopologyKind;
+    use manet_routing::ProtocolKind;
+
+    #[test]
+    fn paired_runs_share_endpoints() {
+        let normal = ScenarioSpec::normal(TopologyKind::uniform6x6(), ProtocolKind::Mr);
+        let attacked = ScenarioSpec::attacked(TopologyKind::uniform6x6(), ProtocolKind::Mr);
+        let (rn, _) = run_once_with_routes(&normal, 3);
+        let (ra, _) = run_once_with_routes(&attacked, 3);
+        assert_eq!((rn.src, rn.dst), (ra.src, ra.dst));
+        assert_eq!(rn.affected, 0.0);
+        assert!(rn.suspect_is_tunnel.is_none());
+        assert!(ra.suspect_is_tunnel.is_some());
+    }
+
+    #[test]
+    fn attacked_cluster_run_is_captured_and_localized() {
+        let spec = ScenarioSpec::attacked(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let rec = run_once(&spec, 0);
+        assert!(rec.n_routes > 0);
+        assert!(rec.affected > 0.9, "affected = {}", rec.affected);
+        assert_eq!(rec.suspect_is_tunnel, Some(true));
+    }
+
+    #[test]
+    fn series_is_deterministic_and_ordered() {
+        let spec = ScenarioSpec::normal(TopologyKind::uniform6x6(), ProtocolKind::Dsr);
+        let a = run_series(&spec, 4);
+        let b = run_series(&spec, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.run, y.run);
+            assert_eq!(x.p_max, y.p_max);
+            assert_eq!(x.overhead, y.overhead);
+        }
+        assert_eq!(a[2].run, 2);
+    }
+
+    #[test]
+    fn two_wormhole_plan_grows_a_mirrored_pair() {
+        let spec = ScenarioSpec::attacked(TopologyKind::uniform10x6(), ProtocolKind::Mr)
+            .with_wormholes(2);
+        let plan = build_plan(&spec, 0);
+        assert_eq!(plan.attacker_pairs.len(), 2);
+        plan.validate().unwrap();
+        let span = plan.tunnel_span_hops(1).unwrap();
+        assert!(span >= 4, "second tunnel span {span}");
+        let rec = run_once(&spec, 0);
+        assert!(rec.n_routes > 0);
+    }
+
+    #[test]
+    fn mean_of_handles_empty() {
+        assert_eq!(mean_of(&[], |r| r.p_max), 0.0);
+    }
+}

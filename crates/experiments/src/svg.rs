@@ -1,0 +1,266 @@
+//! Minimal SVG chart rendering, so every figure experiment regenerates an
+//! actual *figure* (`results/<id>.svg`), not just rows.
+//!
+//! Generic over [`Table`]s: any table whose first column is a run/sweep
+//! index and whose remaining columns are numeric becomes a polyline chart
+//! with one series per column (the trailing `avg` row is skipped). No
+//! external dependencies — the output is hand-assembled SVG 1.1.
+
+use crate::report::{Cell, Table};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 60.0;
+
+/// A fixed, colour-blind-friendly palette (Okabe–Ito).
+const PALETTE: &[&str] = &[
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
+];
+
+fn cell_num(c: &Cell) -> Option<f64> {
+    match c {
+        Cell::Num(v) => Some(*v),
+        Cell::Int(v) => Some(*v as f64),
+        Cell::Str(_) => None,
+    }
+}
+
+/// One plotted series: legend label plus per-row values.
+type Series = (String, Vec<f64>);
+
+/// Extract `(x-labels, series)` from a chartable table: every data row
+/// (rows whose first cell is not the `avg` marker) contributes one x
+/// position; each numeric column beyond the first becomes a series.
+fn extract(table: &Table) -> Option<(Vec<String>, Vec<Series>)> {
+    if table.columns.len() < 2 || table.rows.is_empty() {
+        return None;
+    }
+    let data_rows: Vec<&Vec<Cell>> = table
+        .rows
+        .iter()
+        .filter(|r| !matches!(&r[0], Cell::Str(s) if s == "avg"))
+        .collect();
+    if data_rows.len() < 2 {
+        return None;
+    }
+    let x_labels: Vec<String> = data_rows
+        .iter()
+        .map(|r| match &r[0] {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num(v) => format!("{v}"),
+        })
+        .collect();
+    let mut series = Vec::new();
+    for col in 1..table.columns.len() {
+        let values: Option<Vec<f64>> = data_rows.iter().map(|r| cell_num(&r[col])).collect();
+        if let Some(values) = values {
+            series.push((table.columns[col].clone(), values));
+        }
+    }
+    if series.is_empty() {
+        return None;
+    }
+    Some((x_labels, series))
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render a table as an SVG polyline chart. Returns `None` when the table
+/// has no chartable numeric series (e.g. the fig9 coordinates listing).
+pub fn chart(table: &Table) -> Option<String> {
+    let (x_labels, series) = extract(table)?;
+    let n = x_labels.len();
+    let y_min = 0.0f64;
+    let y_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-9)
+        * 1.1;
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (n - 1).max(1) as f64;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - (v - y_min) / (y_max - y_min));
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="20" font-size="13" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        xml_escape(&table.title)
+    );
+
+    // Axes.
+    let _ = writeln!(
+        s,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    );
+    let _ = writeln!(
+        s,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+    // Y ticks + gridlines.
+    for k in 0..=4 {
+        let v = y_min + (y_max - y_min) * f64::from(k) / 4.0;
+        let y = y_of(v);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="end">{}</text>"#,
+            MARGIN_L - 5.0,
+            y + 3.0,
+            fmt_tick(v)
+        );
+    }
+    // X ticks.
+    let step = (n / 10).max(1);
+    for (i, label) in x_labels.iter().enumerate().step_by(step) {
+        let x = x_of(i);
+        let _ = writeln!(
+            s,
+            r#"<text x="{x}" y="{}" font-size="10" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 15.0,
+            xml_escape(label)
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 30.0,
+        xml_escape(&table.columns[0])
+    );
+
+    // Series polylines + markers + legend.
+    for (idx, (label, values)) in series.iter().enumerate() {
+        let color = PALETTE[idx % PALETTE.len()];
+        let points: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+            points.join(" ")
+        );
+        for (i, &v) in values.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>"#,
+                x_of(i),
+                y_of(v)
+            );
+        }
+        // Legend entry (stacked under the title, left-aligned in rows).
+        let lx = MARGIN_L + 10.0 + 210.0 * f64::from(u32::try_from(idx % 3).unwrap_or(0));
+        let ly = MARGIN_T + 12.0 * (idx / 3) as f64 + 8.0;
+        let _ = writeln!(
+            s,
+            r#"<rect x="{lx}" y="{}" width="10" height="3" fill="{color}"/>"#,
+            ly - 3.0
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{ly}" font-size="9">{}</text>"#,
+            lx + 14.0,
+            xml_escape(label)
+        );
+    }
+    let _ = writeln!(s, "</svg>");
+    Some(s)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("figX", "demo <chart>", vec!["run", "normal", "attack"]);
+        for i in 0..5i64 {
+            t.push_row(vec![
+                Cell::Int(i + 1),
+                Cell::Num(0.1 + 0.01 * i as f64),
+                Cell::Num(0.2 + 0.01 * i as f64),
+            ]);
+        }
+        t.push_row(vec![Cell::from("avg"), Cell::Num(0.12), Cell::Num(0.22)]);
+        t
+    }
+
+    #[test]
+    fn renders_valid_looking_svg_with_all_series() {
+        let svg = chart(&sample_table()).expect("chartable");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 10, "5 markers per series");
+        assert!(svg.contains("demo &lt;chart&gt;"), "title escaped");
+        assert!(svg.contains("normal") && svg.contains("attack"), "legend");
+    }
+
+    #[test]
+    fn avg_row_is_excluded_from_the_plot() {
+        let svg = chart(&sample_table()).unwrap();
+        // 5 data points per series; the avg row adds none.
+        assert_eq!(svg.matches("<circle").count(), 10);
+    }
+
+    #[test]
+    fn non_numeric_tables_are_not_chartable() {
+        let mut t = Table::new("x", "names", vec!["node", "role"]);
+        t.push_row(vec![Cell::from("n1"), Cell::from("attacker")]);
+        t.push_row(vec![Cell::from("n2"), Cell::from("node")]);
+        assert!(chart(&t).is_none());
+    }
+
+    #[test]
+    fn single_row_tables_are_not_chartable() {
+        let mut t = Table::new("x", "one", vec!["run", "v"]);
+        t.push_row(vec![Cell::Int(1), Cell::Num(0.5)]);
+        assert!(chart(&t).is_none());
+    }
+
+    #[test]
+    fn mixed_numeric_and_text_columns_keep_only_numeric_series() {
+        let mut t = Table::new("x", "mixed", vec!["run", "v", "comment"]);
+        t.push_row(vec![Cell::Int(1), Cell::Num(0.5), Cell::from("a")]);
+        t.push_row(vec![Cell::Int(2), Cell::Num(0.7), Cell::from("b")]);
+        let svg = chart(&t).unwrap();
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Route caching (paper §IV).
+//!
+//! "Caching strategy has been included in most of the on-demand routing
+//! protocols … to reduce the excessive route discovery delay. However,
+//! another type of attack, blackhole attack, may be launched where
+//! attackers do not follow the protocol and reply early without cache
+//! lookup. In the MR used in this paper, intermediate nodes are not
+//! allowed to send RREP to the source."
+//!
+//! This module provides the cache a *source* keeps between discoveries:
+//! routes learned from RREPs, aged out over time, and invalidated when a
+//! link is reported broken (or isolated by the IDS response module). Per
+//! the paper's design, intermediate nodes never answer RREQs from this
+//! cache — it only saves the source repeat discoveries.
+
+use crate::route::Route;
+use manet_sim::{Link, NodeId, SimDuration, SimTime};
+
+/// One cached route.
+#[derive(Clone, Debug, PartialEq)]
+struct CacheEntry {
+    route: Route,
+    learned_at: SimTime,
+}
+
+/// A source-side route cache with capacity and age bounds.
+#[derive(Clone, Debug)]
+pub struct RouteCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    max_age: SimDuration,
+}
+
+impl RouteCache {
+    /// A cache holding up to `capacity` routes, each valid for `max_age`.
+    pub fn new(capacity: usize, max_age: SimDuration) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        RouteCache {
+            entries: Vec::new(),
+            capacity,
+            max_age,
+        }
+    }
+
+    /// Number of cached routes (including possibly expired ones; expiry
+    /// is applied on lookup and by [`RouteCache::purge_expired`]).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a route learned at `now`. Duplicates refresh their
+    /// timestamp; when full, the oldest entry is evicted.
+    pub fn insert(&mut self, route: Route, now: SimTime) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.route == route) {
+            e.learned_at = now;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict the oldest.
+            if let Some(idx) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.learned_at)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(idx);
+            }
+        }
+        self.entries.push(CacheEntry {
+            route,
+            learned_at: now,
+        });
+    }
+
+    /// Freshest usable route to `dst` at time `now` (ties broken by hop
+    /// count, shortest first).
+    pub fn lookup(&self, dst: NodeId, now: SimTime) -> Option<&Route> {
+        self.entries
+            .iter()
+            .filter(|e| e.route.dst() == dst && now - e.learned_at <= self.max_age)
+            .min_by(|a, b| {
+                a.route
+                    .hops()
+                    .cmp(&b.route.hops())
+                    .then_with(|| (now - b.learned_at).cmp(&(now - a.learned_at)))
+            })
+            .map(|e| &e.route)
+    }
+
+    /// All usable routes to `dst` at `now`, shortest first.
+    pub fn routes_to(&self, dst: NodeId, now: SimTime) -> Vec<&Route> {
+        let mut v: Vec<&Route> = self
+            .entries
+            .iter()
+            .filter(|e| e.route.dst() == dst && now - e.learned_at <= self.max_age)
+            .map(|e| &e.route)
+            .collect();
+        v.sort_by_key(|r| r.hops());
+        v
+    }
+
+    /// Drop every cached route that traverses `link` — the reaction to a
+    /// route error or an IDS isolation notice naming that link.
+    pub fn invalidate_link(&mut self, link: Link) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.route.contains_link(link));
+        before - self.entries.len()
+    }
+
+    /// Drop every cached route through `node` (isolating a suspect).
+    pub fn invalidate_node(&mut self, node: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.route.contains(node));
+        before - self.entries.len()
+    }
+
+    /// Remove entries older than the age bound.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let max_age = self.max_age;
+        let before = self.entries.len();
+        self.entries.retain(|e| now - e.learned_at <= max_age);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ids: &[u32]) -> Route {
+        Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn lookup_prefers_shortest_fresh_route() {
+        let mut c = RouteCache::new(8, SimDuration::from_millis(100));
+        c.insert(r(&[0, 1, 2, 9]), t(0));
+        c.insert(r(&[0, 3, 9]), t(10));
+        assert_eq!(c.lookup(NodeId(9), t(20)), Some(&r(&[0, 3, 9])));
+        assert_eq!(c.lookup(NodeId(7), t(20)), None);
+    }
+
+    #[test]
+    fn expired_routes_are_not_returned() {
+        let mut c = RouteCache::new(8, SimDuration::from_micros(50));
+        c.insert(r(&[0, 3, 9]), t(0));
+        assert!(c.lookup(NodeId(9), t(40)).is_some());
+        assert!(c.lookup(NodeId(9), t(60)).is_none());
+        assert_eq!(c.purge_expired(t(60)), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_timestamp() {
+        let mut c = RouteCache::new(8, SimDuration::from_micros(50));
+        c.insert(r(&[0, 3, 9]), t(0));
+        c.insert(r(&[0, 3, 9]), t(40));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(NodeId(9), t(80)).is_some(), "refreshed at 40");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = RouteCache::new(2, SimDuration::from_millis(10));
+        c.insert(r(&[0, 1, 9]), t(0));
+        c.insert(r(&[0, 2, 9]), t(10));
+        c.insert(r(&[0, 3, 9]), t(20));
+        assert_eq!(c.len(), 2);
+        // The t(0) entry is gone.
+        let routes = c.routes_to(NodeId(9), t(20));
+        assert!(!routes.contains(&&r(&[0, 1, 9])));
+    }
+
+    #[test]
+    fn invalidation_by_link_and_node() {
+        let mut c = RouteCache::new(8, SimDuration::from_millis(10));
+        c.insert(r(&[0, 1, 2, 9]), t(0));
+        c.insert(r(&[0, 3, 2, 9]), t(0));
+        c.insert(r(&[0, 4, 5, 9]), t(0));
+        assert_eq!(c.invalidate_link(Link::new(NodeId(2), NodeId(9))), 2);
+        assert_eq!(c.len(), 1);
+        c.insert(r(&[0, 4, 6, 9]), t(0));
+        assert_eq!(c.invalidate_node(NodeId(4)), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn routes_to_sorted_by_hops() {
+        let mut c = RouteCache::new(8, SimDuration::from_millis(10));
+        c.insert(r(&[0, 1, 2, 9]), t(0));
+        c.insert(r(&[0, 3, 9]), t(0));
+        let routes = c.routes_to(NodeId(9), t(1));
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].hops(), 2);
+        assert_eq!(routes[1].hops(), 3);
+    }
+}

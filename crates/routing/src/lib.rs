@@ -1,0 +1,52 @@
+//! # manet-routing — on-demand routing protocols for ad hoc networks
+//!
+//! The protocols the SAM paper simulates, implemented over the
+//! `manet-sim` discrete-event engine:
+//!
+//! * **MR** — the paper's on-demand multi-path protocol (SMR without the
+//!   incoming-link rule; "it may find more routes than SMR"),
+//! * **DSR** — the single-path baseline,
+//! * **SMR** — Split Multipath Routing proper (Lee & Gerla), and
+//! * **AOMDV-flavoured** multipath (the paper's future-work protocol).
+//!
+//! All four share one node implementation, [`node::RouterNode`],
+//! parameterized by a [`policy::ForwardPolicy`]; the protocol differences
+//! are confined to duplicate-RREQ handling ([`policy`]) and destination
+//! acceptance. [`discovery::Session`] drives discoveries and SAM's step-2
+//! probe tests over any [`manet_sim::NetworkPlan`].
+//!
+//! ```
+//! use manet_routing::prelude::*;
+//! use manet_sim::prelude::*;
+//!
+//! let plan = uniform_grid(4, 4, 1);
+//! let out = run_discovery(&plan, ProtocolKind::Mr, plan.src_pool[0], plan.dst_pool[0], 1);
+//! assert!(out.routes.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod discovery;
+pub mod node;
+pub mod packet;
+pub mod policy;
+pub mod route;
+
+/// One-stop imports for routing users.
+pub mod prelude {
+    pub use crate::cache::RouteCache;
+    pub use crate::discovery::{
+        run_discovery, run_discovery_with_config, DiscoveryOutcome, ProbeOutcome, Session,
+        DEFAULT_MAX_WAIT,
+    };
+    pub use crate::node::{
+        timer, DataAction, RouterAccess, RouterConfig, RouterNode, RouterStats, RreqAction,
+    };
+    pub use crate::packet::{AckPkt, DataPkt, RerrPkt, Rrep, Rreq, RreqId, RoutingMsg};
+    pub use crate::policy::{DestinationAccept, ForwardDecision, ForwardPolicy, ProtocolKind};
+    pub use crate::route::{select_disjoint, Route, RouteError};
+}
+
+pub use prelude::*;

@@ -1,0 +1,156 @@
+//! Wire messages shared by all routing protocols in the suite.
+
+use crate::route::Route;
+use manet_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of one route discovery: the originator plus
+/// its per-source sequence number (exactly DSR/AODV's RREQ id).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RreqId {
+    /// Originating source.
+    pub src: NodeId,
+    /// Source-local sequence number.
+    pub seq: u32,
+}
+
+/// A route request, flooded from the source.
+///
+/// `path` accumulates the nodes traversed so far, starting with the source
+/// itself; a node appends itself before rebroadcasting. The hop count the
+/// protocols compare is therefore `path.len() − 1` at reception.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rreq {
+    /// Discovery id.
+    pub id: RreqId,
+    /// The node being searched for.
+    pub dst: NodeId,
+    /// Accumulated path, source first.
+    pub path: Vec<NodeId>,
+}
+
+impl Rreq {
+    /// Hop count of the accumulated path.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The node that (re)broadcast this copy.
+    pub fn last_hop(&self) -> NodeId {
+        *self.path.last().expect("RREQ path is never empty")
+    }
+
+    /// A copy extended with `node` appended, ready for rebroadcast.
+    pub fn extended(&self, node: NodeId) -> Rreq {
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.extend_from_slice(&self.path);
+        path.push(node);
+        Rreq {
+            id: self.id,
+            dst: self.dst,
+            path,
+        }
+    }
+}
+
+/// A route reply, unicast backwards along the discovered route.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rrep {
+    /// Discovery this reply answers.
+    pub id: RreqId,
+    /// The full route being reported (source→destination order).
+    pub route: Route,
+}
+
+/// A source-routed data packet (used by SAM's step-2 probe test and by the
+/// blackhole/grayhole models).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPkt {
+    /// The route the packet must follow (source→destination order).
+    pub route: Route,
+    /// Source-local sequence number, echoed by the ACK.
+    pub seq: u32,
+}
+
+/// End-to-end acknowledgment for a [`DataPkt`], travelling the reversed
+/// route.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckPkt {
+    /// Reversed route the ACK follows (destination→source order).
+    pub route: Route,
+    /// Sequence number of the acknowledged data packet.
+    pub seq: u32,
+}
+
+/// A route error: a forwarder on `route` could not reach its next hop,
+/// reporting `broken` back to the route's source (DSR-style route
+/// maintenance).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RerrPkt {
+    /// The route the undeliverable packet was following.
+    pub route: Route,
+    /// The unreachable hop, as `(from, to)` in route direction.
+    pub broken_from: NodeId,
+    /// The node that could not be reached.
+    pub broken_to: NodeId,
+}
+
+/// The union wire format.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingMsg {
+    /// Route request (broadcast flood).
+    Rreq(Rreq),
+    /// Route reply (unicast backwards).
+    Rrep(Rrep),
+    /// Source-routed data.
+    Data(DataPkt),
+    /// End-to-end data acknowledgment.
+    Ack(AckPkt),
+    /// Route error (unicast backwards towards the source).
+    Rerr(RerrPkt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rreq_extension_appends_and_counts_hops() {
+        let q = Rreq {
+            id: RreqId {
+                src: NodeId(0),
+                seq: 1,
+            },
+            dst: NodeId(9),
+            path: vec![NodeId(0)],
+        };
+        assert_eq!(q.hops(), 0);
+        assert_eq!(q.last_hop(), NodeId(0));
+        let q2 = q.extended(NodeId(4));
+        assert_eq!(q2.hops(), 1);
+        assert_eq!(q2.last_hop(), NodeId(4));
+        assert_eq!(q2.path, vec![NodeId(0), NodeId(4)]);
+        // The original is untouched.
+        assert_eq!(q.path, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn rreq_ids_compare_by_source_and_seq() {
+        let a = RreqId {
+            src: NodeId(1),
+            seq: 7,
+        };
+        let b = RreqId {
+            src: NodeId(1),
+            seq: 8,
+        };
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            RreqId {
+                src: NodeId(1),
+                seq: 7
+            }
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Source routes and route-set utilities.
+
+use manet_sim::{Link, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A loop-free source route from a source to a destination, inclusive of
+/// both endpoints.
+///
+/// Invariants enforced at construction: at least two nodes, and no node
+/// repeated (source routing is loop-free by definition — a RREQ is never
+/// forwarded by a node already on its path).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route(Vec<NodeId>);
+
+/// Error building a [`Route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Fewer than two nodes.
+    TooShort,
+    /// A node appears twice.
+    Loop(NodeId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TooShort => write!(f, "route has fewer than two nodes"),
+            RouteError::Loop(n) => write!(f, "route visits {n} twice"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl Route {
+    /// Validate and build a route.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, RouteError> {
+        if nodes.len() < 2 {
+            return Err(RouteError::TooShort);
+        }
+        let mut seen = HashSet::with_capacity(nodes.len());
+        for &n in &nodes {
+            if !seen.insert(n) {
+                return Err(RouteError::Loop(n));
+            }
+        }
+        Ok(Route(nodes))
+    }
+
+    /// The source (first node).
+    pub fn src(&self) -> NodeId {
+        self.0[0]
+    }
+
+    /// The destination (last node).
+    pub fn dst(&self) -> NodeId {
+        *self.0.last().expect("route is non-empty")
+    }
+
+    /// Number of hops (links), i.e. `len − 1`.
+    pub fn hops(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// Whether `n` is on the route.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.0.contains(&n)
+    }
+
+    /// Iterate the route's links as undirected [`Link`]s.
+    pub fn links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.0.windows(2).map(|w| Link::new(w[0], w[1]))
+    }
+
+    /// Whether the route traverses `link` (in either direction).
+    pub fn contains_link(&self, link: Link) -> bool {
+        self.links().any(|l| l == link)
+    }
+
+    /// Number of links shared with `other`.
+    pub fn shared_links(&self, other: &Route) -> usize {
+        let mine: HashSet<Link> = self.links().collect();
+        other.links().filter(|l| mine.contains(l)).count()
+    }
+
+    /// Whether the two routes share no link (link-disjoint).
+    pub fn link_disjoint(&self, other: &Route) -> bool {
+        self.shared_links(other) == 0
+    }
+
+    /// Whether the two routes share no intermediate node (node-disjoint;
+    /// endpoints are expected to coincide and are ignored).
+    pub fn node_disjoint(&self, other: &Route) -> bool {
+        let mine: HashSet<NodeId> = self.0[1..self.0.len() - 1].iter().copied().collect();
+        !other.0[1..other.0.len() - 1]
+            .iter()
+            .any(|n| mine.contains(n))
+    }
+
+    /// The position of `n` on the route, if present.
+    pub fn position(&self, n: NodeId) -> Option<usize> {
+        self.0.iter().position(|&x| x == n)
+    }
+
+    /// Next hop after `n` towards the destination.
+    pub fn next_hop(&self, n: NodeId) -> Option<NodeId> {
+        self.position(n).and_then(|i| self.0.get(i + 1)).copied()
+    }
+
+    /// Next hop after `n` towards the source (used by ACKs/RREPs flowing
+    /// backwards).
+    pub fn prev_hop(&self, n: NodeId) -> Option<NodeId> {
+        match self.position(n) {
+            Some(i) if i > 0 => Some(self.0[i - 1]),
+            _ => None,
+        }
+    }
+
+    /// The same route traversed destination→source.
+    pub fn reversed(&self) -> Route {
+        let mut v = self.0.clone();
+        v.reverse();
+        Route(v)
+    }
+
+    /// Consume into the node vector.
+    pub fn into_nodes(self) -> Vec<NodeId> {
+        self.0
+    }
+}
+
+impl fmt::Debug for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, n) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Greedy maximally-disjoint route selection, the strategy SMR prescribes
+/// for choosing which discovered routes to actually use and which the SAM
+/// procedure uses to pick paths to feed back to the source.
+///
+/// Picks the shortest route first, then repeatedly the route sharing the
+/// fewest links with the already-picked set (ties broken by hop count,
+/// then by discovery order), up to `k` routes.
+pub fn select_disjoint(routes: &[Route], k: usize) -> Vec<Route> {
+    if routes.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut remaining: Vec<&Route> = routes.iter().collect();
+    remaining.sort_by_key(|r| r.hops());
+    let mut picked: Vec<Route> = vec![remaining.remove(0).clone()];
+    let mut picked_links: HashSet<Link> = picked[0].links().collect();
+
+    while picked.len() < k && !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let overlap = r.links().filter(|l| picked_links.contains(l)).count();
+                (i, (overlap, r.hops()))
+            })
+            .min_by_key(|&(_, score)| score)
+            .expect("remaining non-empty");
+        let chosen = remaining.remove(best_idx).clone();
+        picked_links.extend(chosen.links());
+        picked.push(chosen);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ids: &[u32]) -> Route {
+        Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Route::new(vec![NodeId(1)]), Err(RouteError::TooShort));
+        assert_eq!(
+            Route::new(vec![NodeId(1), NodeId(2), NodeId(1)]),
+            Err(RouteError::Loop(NodeId(1)))
+        );
+        assert!(Route::new(vec![NodeId(1), NodeId(2)]).is_ok());
+    }
+
+    #[test]
+    fn endpoints_and_hops() {
+        let route = r(&[3, 5, 7, 9]);
+        assert_eq!(route.src(), NodeId(3));
+        assert_eq!(route.dst(), NodeId(9));
+        assert_eq!(route.hops(), 3);
+        assert_eq!(route.links().count(), 3);
+    }
+
+    #[test]
+    fn link_membership_is_direction_insensitive() {
+        let route = r(&[1, 2, 3]);
+        assert!(route.contains_link(Link::new(NodeId(2), NodeId(1))));
+        assert!(route.contains_link(Link::new(NodeId(3), NodeId(2))));
+        assert!(!route.contains_link(Link::new(NodeId(1), NodeId(3))));
+    }
+
+    #[test]
+    fn hop_navigation() {
+        let route = r(&[1, 2, 3]);
+        assert_eq!(route.next_hop(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(route.next_hop(NodeId(3)), None);
+        assert_eq!(route.prev_hop(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(route.prev_hop(NodeId(1)), None);
+        assert_eq!(route.next_hop(NodeId(9)), None);
+    }
+
+    #[test]
+    fn reversal_swaps_endpoints_but_keeps_links() {
+        let route = r(&[1, 2, 3, 4]);
+        let rev = route.reversed();
+        assert_eq!(rev.src(), NodeId(4));
+        assert_eq!(rev.dst(), NodeId(1));
+        let a: HashSet<Link> = route.links().collect();
+        let b: HashSet<Link> = rev.links().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = r(&[0, 1, 2, 9]);
+        let b = r(&[0, 3, 4, 9]);
+        let c = r(&[0, 1, 4, 9]);
+        assert!(a.link_disjoint(&b));
+        assert!(a.node_disjoint(&b));
+        assert!(!a.link_disjoint(&c));
+        assert!(!b.node_disjoint(&c));
+        assert_eq!(a.shared_links(&c), 1);
+    }
+
+    #[test]
+    fn select_disjoint_prefers_shortest_then_disjoint() {
+        let routes = vec![
+            r(&[0, 3, 4, 9]), // 3 hops, shares link 0-3 with the shortest
+            r(&[0, 3, 9]),    // 2 hops — must be picked first
+            r(&[0, 5, 6, 9]), // 3 hops, fully disjoint
+        ];
+        let picked = select_disjoint(&routes, 2);
+        assert_eq!(picked[0], routes[1]);
+        assert_eq!(picked[1], routes[2], "disjoint route preferred over overlapping one");
+    }
+
+    #[test]
+    fn select_disjoint_handles_edges() {
+        assert!(select_disjoint(&[], 3).is_empty());
+        let one = vec![r(&[0, 1])];
+        assert_eq!(select_disjoint(&one, 0).len(), 0);
+        assert_eq!(select_disjoint(&one, 5).len(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", r(&[1, 2])), "[n1→n2]");
+    }
+}

@@ -1,0 +1,108 @@
+//! Route maintenance (RERR) integration tests: broken links are reported
+//! back to the source, which drops the affected routes.
+
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+
+/// A plan whose topology we can mutilate: a 4×2 ladder.
+fn ladder() -> NetworkPlan {
+    let mut positions = Vec::new();
+    for x in 0..4 {
+        positions.push(Pos::new(x as f64, 0.0));
+        positions.push(Pos::new(x as f64, 1.0));
+    }
+    let topology = Topology::new(positions, 1.5);
+    NetworkPlan {
+        name: "ladder".into(),
+        topology,
+        src_pool: vec![NodeId(0)],
+        dst_pool: vec![NodeId(6)],
+        attacker_pairs: vec![],
+    }
+}
+
+#[test]
+fn stale_route_triggers_rerr_and_source_learns() {
+    let plan = ladder();
+    let src = NodeId(0);
+    let dst = NodeId(6);
+    let mut session = Session::new(&plan, LatencyModel::default(), 1, |id| {
+        RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr))
+    });
+    let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    assert!(!out.routes.is_empty());
+
+    // Fabricate a stale route with a hop that does not exist: 0 → 2 is
+    // two grid steps apart (distance 2.0 > range 1.5)? No — craft one
+    // with a gap: 0 → 3 directly is 3 units apart.
+    let stale = Route::new(vec![NodeId(0), NodeId(2), NodeId(3), NodeId(7), NodeId(6)]);
+    // 3 is at (1,1); 7 is at (3,1): distance 2 > 1.5 → broken hop 3→7.
+    let stale = stale.expect("structurally valid");
+    assert!(plan.topology.are_neighbors(NodeId(0), NodeId(2)));
+    assert!(plan.topology.are_neighbors(NodeId(2), NodeId(3)));
+    assert!(!plan.topology.are_neighbors(NodeId(3), NodeId(7)));
+
+    let probe = session.probe(
+        &stale,
+        2,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(500),
+    );
+    assert_eq!(probe.acked, 0, "stale route cannot deliver");
+
+    // Node 3 reported the broken hop back to the source.
+    let broken = session.node(src).router().broken_links();
+    assert!(
+        broken.contains(&Link::new(NodeId(3), NodeId(7))),
+        "source should have learned the broken link, got {broken:?}"
+    );
+}
+
+#[test]
+fn rerr_purges_matching_source_routes() {
+    // The source holds RREP routes; when one of their links is reported
+    // broken the affected routes disappear from its view.
+    let plan = ladder();
+    let src = NodeId(0);
+    let dst = NodeId(6);
+    let mut session = Session::new(&plan, LatencyModel::default(), 2, |id| {
+        RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr))
+    });
+    let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    let source_routes = out.source_routes.clone();
+    assert!(!source_routes.is_empty());
+
+    // Probe along a stale route sharing its first link with a real one,
+    // then verify only routes over the (actually fine) links remain. We
+    // simulate the pathological case by probing a fabricated route whose
+    // broken link *is* on a real route: take a real route and splice an
+    // unreachable tail after its second node.
+    let real = &source_routes[0];
+    let second = real.nodes()[1];
+    // Find a node not adjacent to `second`.
+    let far = plan
+        .topology
+        .nodes()
+        .find(|&n| n != src && n != second && !plan.topology.are_neighbors(second, n) && !real.nodes().contains(&n))
+        .expect("ladder has non-neighbours");
+    let stale = Route::new(vec![src, second, far, dst]);
+    let Ok(stale) = stale else {
+        // Splice happened to duplicate a node; nothing to test then.
+        return;
+    };
+    session.probe(
+        &stale,
+        1,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(500),
+    );
+    let broken = session.node(src).router().broken_links().to_vec();
+    assert!(
+        broken.contains(&Link::new(second, far)),
+        "broken link recorded: {broken:?}"
+    );
+    // Any remaining source route must avoid the dead link.
+    for r in session.node(src).router().source_routes() {
+        assert!(!r.contains_link(Link::new(second, far)));
+    }
+}

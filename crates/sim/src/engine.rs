@@ -1,0 +1,568 @@
+//! The discrete-event network engine.
+//!
+//! A [`Network`] owns the topology, the event queue, the seeded RNG, and
+//! the tx/rx metrics. Node protocol logic lives *outside* the engine in
+//! types implementing [`Behavior`]; the engine's `run` loop pops events and
+//! dispatches them to the behaviour of the addressed node, handing it a
+//! [`Ctx`] through which it can broadcast, unicast, tunnel, and set timers.
+//!
+//! Determinism: all randomness (latency jitter, behaviour-level coin flips)
+//! flows from the single `StdRng` seeded at construction, and simultaneous
+//! events fire in scheduling order, so a run is a pure function of
+//! `(topology, behaviours, seed)`.
+
+use crate::event::{Channel, EventKind, EventQueue};
+use crate::ids::NodeId;
+use crate::metrics::Metrics;
+use crate::radio::LatencyModel;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEntry, TraceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+
+/// Protocol logic for one node. `Msg` is the wire message type shared by
+/// all nodes in a run (typically an enum of RREQ/RREP/DATA/ACK).
+pub trait Behavior {
+    /// Wire message type.
+    type Msg: Clone + Debug;
+
+    /// A message addressed to (or overheard by) this node has arrived.
+    fn on_receive(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        from: NodeId,
+        channel: Channel,
+        msg: Self::Msg,
+    );
+
+    /// A timer set through [`Ctx::set_timer`] has fired. Default: ignore.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, key: u64) {
+        let _ = (ctx, key);
+    }
+}
+
+/// Summary of one `run` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events dispatched.
+    pub events_processed: u64,
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped because it hit the event cap rather than
+    /// draining the queue or reaching the deadline.
+    pub truncated: bool,
+}
+
+/// The simulation world for one message type.
+pub struct Network<M> {
+    topology: Topology,
+    queue: EventQueue<M>,
+    now: SimTime,
+    rng: StdRng,
+    metrics: Metrics,
+    latency: LatencyModel,
+    /// Per-delivery loss probability (channel errors); 0 by default.
+    loss_prob: f64,
+    max_events: u64,
+    trace: Option<Trace>,
+}
+
+impl<M: Clone + Debug> Network<M> {
+    /// Create a network over `topology`, using `latency` for every
+    /// over-the-air delivery and `seed` for all randomness.
+    pub fn new(topology: Topology, latency: LatencyModel, seed: u64) -> Self {
+        let n = topology.len();
+        Network {
+            topology,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(n),
+            latency,
+            loss_prob: 0.0,
+            max_events: 20_000_000,
+            trace: None,
+        }
+    }
+
+    /// Set the per-delivery loss probability: each over-the-air delivery
+    /// (broadcast leg or unicast) is independently dropped with this
+    /// probability, modelling channel errors/collisions. Transmissions
+    /// still count towards overhead; lost deliveries produce no
+    /// reception. Tunnels are unaffected (the attackers' private channel
+    /// is assumed reliable).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p) && p.is_finite(), "loss prob {p}");
+        self.loss_prob = p;
+    }
+
+    /// The configured per-delivery loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// Sample one loss decision.
+    fn lost(&mut self) -> bool {
+        self.loss_prob > 0.0 && self.rng.random_bool(self.loss_prob)
+    }
+
+    /// Start recording a structural event trace (bounded at `capacity`
+    /// entries). Re-enabling replaces any previous trace.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Stop tracing and take ownership of the recorded trace.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Override the runaway-flood safety cap (events per run).
+    pub fn set_max_events(&mut self, cap: u64) {
+        self.max_events = cap;
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated tx/rx counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reset counters (keeps topology, clock, and RNG state).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Schedule a timer at node `node`, `delay` from now. This is also how
+    /// a harness kicks off a scenario (e.g. "source starts discovery at
+    /// t=0" is a timer with a behaviour-defined key).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, key: u64) {
+        self.queue
+            .schedule(self.now + delay, EventKind::Timer { node, key });
+    }
+
+    /// Inject a message delivery from outside the simulation (tests).
+    pub fn inject(
+        &mut self,
+        delay: SimDuration,
+        to: NodeId,
+        from: NodeId,
+        channel: Channel,
+        msg: M,
+    ) {
+        self.queue.schedule(
+            self.now + delay,
+            EventKind::Deliver {
+                to,
+                from,
+                channel,
+                msg,
+            },
+        );
+    }
+
+    /// Run until the queue drains, `until` passes, or the event cap hits.
+    ///
+    /// `behaviors` must have exactly one entry per topology node, indexed
+    /// by node id. After the run the caller can inspect the behaviours for
+    /// protocol-level results (collected routes, caches, …).
+    pub fn run<B: Behavior<Msg = M>>(&mut self, behaviors: &mut [B], until: SimTime) -> RunStats {
+        assert_eq!(
+            behaviors.len(),
+            self.topology.len(),
+            "one behaviour per node required"
+        );
+        let mut processed = 0u64;
+        let mut truncated = false;
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            if processed >= self.max_events {
+                truncated = true;
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = ev.at;
+            processed += 1;
+            match ev.kind {
+                EventKind::Deliver {
+                    to,
+                    from,
+                    channel,
+                    msg,
+                } => {
+                    match channel {
+                        Channel::Tunnel => self.metrics.node_mut(to).tunnel_rx += 1,
+                        _ => self.metrics.node_mut(to).rx += 1,
+                    }
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(TraceEntry {
+                            at: ev.at,
+                            node: to,
+                            kind: TraceKind::Deliver {
+                                from,
+                                channel: channel.into(),
+                            },
+                        });
+                    }
+                    let behavior = &mut behaviors[to.idx()];
+                    let mut ctx = Ctx { net: self, node: to };
+                    behavior.on_receive(&mut ctx, from, channel, msg);
+                }
+                EventKind::Timer { node, key } => {
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(TraceEntry {
+                            at: ev.at,
+                            node,
+                            kind: TraceKind::Timer { key },
+                        });
+                    }
+                    let behavior = &mut behaviors[node.idx()];
+                    let mut ctx = Ctx {
+                        net: self,
+                        node,
+                    };
+                    behavior.on_timer(&mut ctx, key);
+                }
+            }
+        }
+        RunStats {
+            events_processed: processed,
+            end_time: self.now,
+            truncated,
+        }
+    }
+}
+
+/// The capabilities handed to a behaviour while it handles an event.
+pub struct Ctx<'a, M> {
+    net: &'a mut Network<M>,
+    node: NodeId,
+}
+
+impl<'a, M: Clone + Debug> Ctx<'a, M> {
+    /// The node this event was dispatched to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now
+    }
+
+    /// Radio neighbours of this node.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.net.topology.neighbors(self.node)
+    }
+
+    /// The topology (read-only; for positions, ranges, …).
+    pub fn topology(&self) -> &Topology {
+        &self.net.topology
+    }
+
+    /// Deterministic per-run RNG, for behaviour-level randomness (e.g.
+    /// grayhole drop decisions).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.net.rng
+    }
+
+    /// Broadcast `msg` to every radio neighbour. Counts as one
+    /// transmission; each neighbour's delivery is scheduled with an
+    /// independently sampled latency, which is what randomizes flood
+    /// arrival order between runs.
+    pub fn broadcast(&mut self, msg: M) {
+        self.broadcast_scaled(msg, 1.0);
+    }
+
+    /// Broadcast with the sampled latency scaled by `scale`. `scale < 1`
+    /// models a node that skips the randomized MAC backoff honest radios
+    /// observe — the *rushing attack*'s core move. `scale > 1` models a
+    /// slow or congested node.
+    pub fn broadcast_scaled(&mut self, msg: M, scale: f64) {
+        assert!(scale > 0.0 && scale.is_finite(), "latency scale {scale}");
+        self.net.metrics.node_mut(self.node).tx += 1;
+        let node = self.node;
+        let pos = self.net.topology.position(node);
+        // Collect to end the immutable borrow of topology before mutating
+        // the queue.
+        let deliveries: Vec<(NodeId, f64)> = self
+            .net
+            .topology
+            .neighbors(node)
+            .iter()
+            .map(|&v| (v, pos.dist(self.net.topology.position(v))))
+            .collect();
+        for (v, dist) in deliveries {
+            let lat = self.net.latency.sample(dist, &mut self.net.rng).mul_f64(scale);
+            if self.net.lost() {
+                continue;
+            }
+            self.net.queue.schedule(
+                self.net.now + lat,
+                EventKind::Deliver {
+                    to: v,
+                    from: node,
+                    channel: Channel::Broadcast,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// Unicast `msg` to the radio neighbour `to`.
+    ///
+    /// # Panics
+    /// If `to` is not within radio range — protocol logic must only address
+    /// real neighbours; a violation is a bug, not a runtime condition.
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.net.topology.are_neighbors(self.node, to),
+            "{} attempted unicast to non-neighbour {}",
+            self.node,
+            to
+        );
+        self.net.metrics.node_mut(self.node).tx += 1;
+        let dist = self.net.topology.dist(self.node, to);
+        let lat = self.net.latency.sample(dist, &mut self.net.rng);
+        if self.net.lost() {
+            return;
+        }
+        self.net.queue.schedule(
+            self.net.now + lat,
+            EventKind::Deliver {
+                to,
+                from: self.node,
+                channel: Channel::Unicast,
+                msg,
+            },
+        );
+    }
+
+    /// Send `msg` over an out-of-band tunnel to any node, regardless of
+    /// radio range — the wormhole's private channel. The caller chooses the
+    /// tunnel latency (a fast wired/long-range link in the paper's threat
+    /// model).
+    pub fn tunnel(&mut self, to: NodeId, latency: SimDuration, msg: M) {
+        self.net.metrics.node_mut(self.node).tunnel_tx += 1;
+        self.net.queue.schedule(
+            self.net.now + latency,
+            EventKind::Deliver {
+                to,
+                from: self.node,
+                channel: Channel::Tunnel,
+                msg,
+            },
+        );
+    }
+
+    /// Fire `on_timer(key)` at this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
+        self.net.queue.schedule(
+            self.net.now + delay,
+            EventKind::Timer {
+                node: self.node,
+                key,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Pos;
+
+    /// Flood-once behaviour: first time a node hears the message it
+    /// rebroadcasts; records reception time.
+    struct Flood {
+        heard_at: Option<SimTime>,
+    }
+
+    impl Behavior for Flood {
+        type Msg = u32;
+        fn on_receive(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, _ch: Channel, msg: u32) {
+            if self.heard_at.is_none() {
+                self.heard_at = Some(ctx.now());
+                ctx.broadcast(msg);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _key: u64) {
+            // Timer 0 = originate the flood.
+            self.heard_at = Some(ctx.now());
+            ctx.broadcast(7);
+        }
+    }
+
+    fn line_net(n: usize, seed: u64) -> Network<u32> {
+        let topo = Topology::new(
+            (0..n).map(|i| Pos::new(i as f64, 0.0)).collect(),
+            1.1,
+        );
+        Network::new(topo, LatencyModel::deterministic(1e-3), seed)
+    }
+
+    #[test]
+    fn flood_reaches_all_nodes_in_hop_order() {
+        let mut net = line_net(5, 0);
+        let mut nodes: Vec<Flood> = (0..5).map(|_| Flood { heard_at: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        let stats = net.run(&mut nodes, SimTime::MAX);
+        assert!(!stats.truncated);
+        let times: Vec<u64> = nodes
+            .iter()
+            .map(|f| f.heard_at.expect("all heard").as_micros())
+            .collect();
+        // Deterministic 1 ms hops on a line.
+        assert_eq!(times, vec![0, 1_000, 2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn metrics_count_flood_traffic() {
+        let mut net = line_net(3, 0);
+        let mut nodes: Vec<Flood> = (0..3).map(|_| Flood { heard_at: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::MAX);
+        // Every node broadcasts exactly once (3 tx). Receptions: n0 hears
+        // n1's rebroadcast; n1 hears n0 and n2; n2 hears n1 twice? No —
+        // n2 hears n1's single broadcast once, and n1 hears n2's.
+        assert_eq!(net.metrics().total_tx(), 3);
+        // Line of 3: links (0,1), (1,2); each broadcast reaches 1 or 2
+        // neighbours: n0 -> {1}; n1 -> {0, 2}; n2 -> {1} = 4 receptions.
+        assert_eq!(net.metrics().total_rx(), 4);
+    }
+
+    #[test]
+    fn deadline_stops_the_run() {
+        let mut net = line_net(5, 0);
+        let mut nodes: Vec<Flood> = (0..5).map(|_| Flood { heard_at: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::from_micros(1_500));
+        // Only nodes 0 and 1 heard before 1.5 ms.
+        assert!(nodes[0].heard_at.is_some());
+        assert!(nodes[1].heard_at.is_some());
+        assert!(nodes[2].heard_at.is_none());
+    }
+
+    #[test]
+    fn event_cap_truncates_runaway_floods() {
+        /// Pathological behaviour: every reception triggers a rebroadcast.
+        struct Storm;
+        impl Behavior for Storm {
+            type Msg = u32;
+            fn on_receive(&mut self, ctx: &mut Ctx<'_, u32>, _f: NodeId, _c: Channel, m: u32) {
+                ctx.broadcast(m);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _k: u64) {
+                ctx.broadcast(1);
+            }
+        }
+        let mut net = line_net(3, 0);
+        net.set_max_events(100);
+        let mut nodes = vec![Storm, Storm, Storm];
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        let stats = net.run(&mut nodes, SimTime::MAX);
+        assert!(stats.truncated);
+        assert_eq!(stats.events_processed, 100);
+    }
+
+    #[test]
+    fn tunnel_ignores_radio_range() {
+        struct TunnelOnce {
+            got: Option<(NodeId, Channel)>,
+        }
+        impl Behavior for TunnelOnce {
+            type Msg = u32;
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_, u32>, from: NodeId, ch: Channel, _m: u32) {
+                self.got = Some((from, ch));
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _k: u64) {
+                // Node 0 tunnels to node 4 (not a neighbour on the line).
+                ctx.tunnel(NodeId(4), SimDuration::from_micros(10), 99);
+            }
+        }
+        let mut net = line_net(5, 0);
+        let mut nodes: Vec<TunnelOnce> = (0..5).map(|_| TunnelOnce { got: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::MAX);
+        assert_eq!(nodes[4].got, Some((NodeId(0), Channel::Tunnel)));
+        assert_eq!(net.metrics().node(NodeId(0)).tunnel_tx, 1);
+        assert_eq!(net.metrics().node(NodeId(4)).tunnel_rx, 1);
+        assert_eq!(net.metrics().overhead(), 0, "tunnel is out-of-band");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn unicast_to_stranger_panics() {
+        struct Bad;
+        impl Behavior for Bad {
+            type Msg = u32;
+            fn on_receive(&mut self, _c: &mut Ctx<'_, u32>, _f: NodeId, _ch: Channel, _m: u32) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _k: u64) {
+                ctx.unicast(NodeId(4), 0);
+            }
+        }
+        let mut net = line_net(5, 0);
+        let mut nodes = vec![Bad, Bad, Bad, Bad, Bad];
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::MAX);
+    }
+
+    #[test]
+    fn loss_probability_thins_receptions() {
+        fn receptions(loss: f64) -> u64 {
+            let mut net = line_net(5, 3);
+            net.set_loss_prob(loss);
+            let mut nodes: Vec<Flood> = (0..5).map(|_| Flood { heard_at: None }).collect();
+            net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+            net.run(&mut nodes, SimTime::MAX);
+            net.metrics().total_rx()
+        }
+        assert_eq!(receptions(0.0), 8, "lossless line flood: 8 receptions");
+        let lossy = receptions(0.9);
+        assert!(lossy < 8, "90% loss must drop something, got {lossy}");
+        // Total loss: nothing is ever delivered.
+        assert_eq!(receptions(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss prob")]
+    fn invalid_loss_probability_rejected() {
+        let mut net = line_net(3, 0);
+        net.set_loss_prob(1.5);
+    }
+
+    #[test]
+    fn same_seed_same_run_different_seed_different_jitter() {
+        fn arrival(seed: u64) -> Vec<u64> {
+            let topo = Topology::new(
+                (0..6).map(|i| Pos::new((i % 3) as f64, (i / 3) as f64)).collect(),
+                1.5,
+            );
+            let mut net: Network<u32> = Network::new(topo, LatencyModel::default(), seed);
+            let mut nodes: Vec<Flood> = (0..6).map(|_| Flood { heard_at: None }).collect();
+            net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+            net.run(&mut nodes, SimTime::MAX);
+            nodes.iter().map(|f| f.heard_at.unwrap().as_micros()).collect()
+        }
+        assert_eq!(arrival(42), arrival(42));
+        assert_ne!(arrival(1), arrival(2));
+    }
+}

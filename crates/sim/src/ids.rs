@@ -1,0 +1,156 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in the simulated network.
+///
+/// Stored as a `u32` (rather than `usize`) to keep routes and link tables
+/// compact — a route is a `Vec<NodeId>` and link-frequency tables hash pairs
+/// of these, so the smaller representation matters for the statistical
+/// analysis hot path.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into per-node tables.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it does not fit in `u32`;
+    /// simulated networks are far below that bound).
+    #[inline]
+    pub fn from_idx(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An **undirected** link between two nodes.
+///
+/// The constructor normalizes endpoint order, so `Link::new(a, b)` and
+/// `Link::new(b, a)` are equal and hash identically. This encodes the
+/// paper's bidirectionality assumption: "if node A is able to transmit to
+/// some node B, then B is able to transmit to A", and makes the link
+/// frequency statistics insensitive to route direction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Link {
+    /// Create a normalized undirected link. Panics on self-loops, which are
+    /// never valid in a route.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loop link {a}-{b}");
+        if a <= b {
+            Link { lo: a, hi: b }
+        } else {
+            Link { lo: b, hi: a }
+        }
+    }
+
+    /// The endpoint with the smaller id.
+    #[inline]
+    pub const fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The endpoint with the larger id.
+    #[inline]
+    pub const fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Both endpoints, in normalized order.
+    #[inline]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether `n` is one of the endpoints.
+    #[inline]
+    pub fn touches(self, n: NodeId) -> bool {
+        self.lo == n || self.hi == n
+    }
+
+    /// The other endpoint if `n` is one of them.
+    pub fn other(self, n: NodeId) -> Option<NodeId> {
+        if n == self.lo {
+            Some(self.hi)
+        } else if n == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_is_direction_insensitive() {
+        let a = NodeId(3);
+        let b = NodeId(7);
+        assert_eq!(Link::new(a, b), Link::new(b, a));
+        assert_eq!(Link::new(a, b).endpoints(), (a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Link::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let l = Link::new(NodeId(1), NodeId(2));
+        assert_eq!(l.other(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(l.other(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(l.other(NodeId(3)), None);
+        assert!(l.touches(NodeId(1)));
+        assert!(!l.touches(NodeId(9)));
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_idx(42);
+        assert_eq!(n.idx(), 42);
+        assert_eq!(format!("{n}"), "n42");
+    }
+}

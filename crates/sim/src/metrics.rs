@@ -1,0 +1,144 @@
+//! Per-node transmission/reception counters.
+//!
+//! Table II of the paper reports "the total number of transmissions and
+//! receptions at all nodes" for one route discovery as the overhead
+//! criterion; these counters implement exactly that definition. A broadcast
+//! counts as **one** transmission at the sender and one reception at every
+//! node that hears it.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Over-the-air transmissions (broadcast or unicast send).
+    pub tx: u64,
+    /// Over-the-air receptions.
+    pub rx: u64,
+    /// Deliveries over an out-of-band tunnel (attacker channel); kept
+    /// separate so overhead comparisons can include or exclude them.
+    pub tunnel_tx: u64,
+    /// Tunnel receptions.
+    pub tunnel_rx: u64,
+}
+
+/// Counters for the whole network.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    per_node: Vec<NodeCounters>,
+}
+
+impl Metrics {
+    /// Zeroed counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_node: vec![NodeCounters::default(); n],
+        }
+    }
+
+    /// Counters of one node.
+    pub fn node(&self, id: NodeId) -> &NodeCounters {
+        &self.per_node[id.idx()]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeCounters {
+        &mut self.per_node[id.idx()]
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Sum of over-the-air transmissions across all nodes.
+    pub fn total_tx(&self) -> u64 {
+        self.per_node.iter().map(|c| c.tx).sum()
+    }
+
+    /// Sum of over-the-air receptions across all nodes.
+    pub fn total_rx(&self) -> u64 {
+        self.per_node.iter().map(|c| c.rx).sum()
+    }
+
+    /// The paper's overhead criterion: total transmissions + receptions at
+    /// all nodes (over-the-air only — the wormhole's private tunnel is not
+    /// network overhead).
+    pub fn overhead(&self) -> u64 {
+        self.total_tx() + self.total_rx()
+    }
+
+    /// Overhead including tunnel traffic, for attacker-cost analysis.
+    pub fn overhead_with_tunnel(&self) -> u64 {
+        self.overhead()
+            + self
+                .per_node
+                .iter()
+                .map(|c| c.tunnel_tx + c.tunnel_rx)
+                .sum::<u64>()
+    }
+
+    /// Reset all counters to zero (e.g. between discoveries on a reused
+    /// network).
+    pub fn reset(&mut self) {
+        for c in &mut self.per_node {
+            *c = NodeCounters::default();
+        }
+    }
+
+    /// Iterate `(node, counters)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeCounters)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (NodeId::from_idx(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_sums_tx_and_rx() {
+        let mut m = Metrics::new(3);
+        m.node_mut(NodeId(0)).tx = 2;
+        m.node_mut(NodeId(1)).rx = 5;
+        m.node_mut(NodeId(2)).tx = 1;
+        m.node_mut(NodeId(2)).rx = 1;
+        assert_eq!(m.total_tx(), 3);
+        assert_eq!(m.total_rx(), 6);
+        assert_eq!(m.overhead(), 9);
+    }
+
+    #[test]
+    fn tunnel_traffic_excluded_from_overhead() {
+        let mut m = Metrics::new(2);
+        m.node_mut(NodeId(0)).tunnel_tx = 4;
+        m.node_mut(NodeId(1)).tunnel_rx = 4;
+        assert_eq!(m.overhead(), 0);
+        assert_eq!(m.overhead_with_tunnel(), 8);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = Metrics::new(1);
+        m.node_mut(NodeId(0)).tx = 9;
+        m.reset();
+        assert_eq!(m.node(NodeId(0)).tx, 0);
+        assert_eq!(m.overhead(), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_nodes() {
+        let m = Metrics::new(4);
+        assert_eq!(m.iter().count(), 4);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+}

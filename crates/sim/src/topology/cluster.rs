@@ -1,0 +1,200 @@
+//! The two-cluster topology (paper Fig. 1).
+//!
+//! Two 4×4 clusters ("hot spots") joined by a sparse 2×5 bridge — the
+//! paper's motivating scenario of a library talking to a nearby building.
+//! One wormhole endpoint sits just above each cluster; the tunnel spans the
+//! whole bridge, so a wormhole route is several hops shorter than any
+//! legitimate route and, as the paper observes, *every* discovered route
+//! ends up affected.
+
+use super::{AttackerPair, NetworkPlan, Pos, Topology};
+use crate::ids::NodeId;
+use crate::radio::range_for_tier;
+
+/// Geometry of the two-cluster scenario. [`TwoClusterConfig::default`]
+/// reproduces the paper's Fig. 1: 16 + 16 cluster nodes, 10 bridge nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoClusterConfig {
+    /// Side of each square cluster (4 ⇒ 16 nodes per cluster).
+    pub cluster_side: usize,
+    /// Bridge rows (2 in the paper).
+    pub bridge_rows: usize,
+    /// Bridge columns (5 in the paper).
+    pub bridge_cols: usize,
+    /// Transmission-range tier (1 or 2 in the paper's experiments).
+    pub tier: u8,
+}
+
+impl Default for TwoClusterConfig {
+    fn default() -> Self {
+        TwoClusterConfig {
+            cluster_side: 4,
+            bridge_rows: 2,
+            bridge_cols: 5,
+            tier: 1,
+        }
+    }
+}
+
+/// Build the two-cluster plan for a given tier with otherwise default
+/// (paper) geometry.
+pub fn two_cluster(tier: u8) -> NetworkPlan {
+    two_cluster_with(TwoClusterConfig {
+        tier,
+        ..TwoClusterConfig::default()
+    })
+}
+
+/// Build a two-cluster plan with explicit geometry.
+///
+/// Layout on the unit grid (defaults shown):
+///
+/// ```text
+///   left cluster x∈[0,3] y∈[0,3]   bridge x∈[4,8] y∈{1,2}   right cluster x∈[9,12] y∈[0,3]
+///   A1 flanks the left cluster at (3.5, 1.5); A2 flanks the right at (8.5, 1.5)
+/// ```
+///
+/// Sources are drawn from the left cluster, destinations from the right
+/// cluster ("the source is randomly chosen in one cluster and the
+/// destination is randomly chosen in another cluster").
+pub fn two_cluster_with(cfg: TwoClusterConfig) -> NetworkPlan {
+    assert!(cfg.cluster_side >= 2 && cfg.bridge_cols >= 1 && cfg.bridge_rows >= 1);
+    let side = cfg.cluster_side;
+    let right_x0 = side + cfg.bridge_cols; // first column of right cluster
+
+    let mut positions = Vec::new();
+    let mut src_pool = Vec::new();
+    let mut dst_pool = Vec::new();
+
+    // Left cluster.
+    for row in 0..side {
+        for col in 0..side {
+            src_pool.push(NodeId::from_idx(positions.len()));
+            positions.push(Pos::new(col as f64, row as f64));
+        }
+    }
+    // Bridge, vertically centred on the clusters.
+    let bridge_y0 = (side - cfg.bridge_rows) / 2;
+    for row in 0..cfg.bridge_rows {
+        for col in 0..cfg.bridge_cols {
+            positions.push(Pos::new(
+                (side + col) as f64,
+                (bridge_y0 + row) as f64,
+            ));
+        }
+    }
+    // Right cluster.
+    for row in 0..side {
+        for col in 0..side {
+            dst_pool.push(NodeId::from_idx(positions.len()));
+            positions.push(Pos::new((right_x0 + col) as f64, row as f64));
+        }
+    }
+    // One attacker flanks each cluster on its bridge side, at mid height
+    // (the circles beside the clusters in the paper's Fig. 1). Each is an
+    // ordinary locally-connected node — it touches its cluster's inner
+    // column and the first bridge column — but the tunnel replaces the
+    // entire multi-hop bridge with a single hop, so a wormhole route is
+    // strictly shorter than any honest route for *every* source/
+    // destination pair: the paper observes that in this topology all
+    // obtained routes are affected. Because requests enter the attacker
+    // from several different neighbours, the second-most-frequent link
+    // stays well below the tunnel link and Δ spikes under attack (except
+    // when the source happens to be attacker-adjacent — the paper's Δ = 0
+    // special case).
+    let mid = (side as f64 - 1.0) / 2.0;
+    let a = NodeId::from_idx(positions.len());
+    positions.push(Pos::new(side as f64 - 0.5, mid));
+    let b = NodeId::from_idx(positions.len());
+    positions.push(Pos::new(right_x0 as f64 - 0.5, mid));
+
+    let plan = NetworkPlan {
+        name: format!("cluster-{}tier", cfg.tier),
+        topology: Topology::new(positions, range_for_tier(cfg.tier)),
+        src_pool,
+        dst_pool,
+        attacker_pairs: vec![AttackerPair { a, b }],
+    };
+    debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::graph;
+
+    #[test]
+    fn paper_geometry_node_counts() {
+        let plan = two_cluster(1);
+        // 16 + 10 + 16 legit + 2 attackers.
+        assert_eq!(plan.topology.len(), 44);
+        assert_eq!(plan.src_pool.len(), 16);
+        assert_eq!(plan.dst_pool.len(), 16);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn clusters_only_connect_through_bridge() {
+        let plan = two_cluster(1);
+        // The shortest left→right path must pass through bridge nodes
+        // (ids 16..26).
+        let p = graph::shortest_path(&plan.topology, NodeId(0), plan.dst_pool[0]).unwrap();
+        assert!(
+            p.iter().any(|n| (16..26).contains(&n.idx())),
+            "path avoided bridge: {p:?}"
+        );
+        assert!(p.len() >= 7, "clusters should be many hops apart: {p:?}");
+    }
+
+    #[test]
+    fn attackers_are_locally_connected_and_far_apart() {
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        assert!(!plan.topology.neighbors(pair.a).is_empty());
+        assert!(!plan.topology.neighbors(pair.b).is_empty());
+        assert!(!plan.topology.are_neighbors(pair.a, pair.b));
+        let span = plan.tunnel_span_hops(0).unwrap();
+        // A1 reaches bridge column 5 at the 1-tier range, so the real
+        // span is 4 radio hops — the tunnel collapses them into one.
+        assert!(span >= 4, "tunnel must span many hops, got {span}");
+    }
+
+    #[test]
+    fn attacker_neighbours_flank_cluster_and_bridge_entrance() {
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        let na = plan.topology.neighbors(pair.a);
+        assert!(na.len() >= 4, "flanking attacker is well connected: {na:?}");
+        for &n in na {
+            let p = plan.topology.position(n);
+            assert!(
+                p.x <= 5.0,
+                "left attacker reaching past the bridge entrance: {n} at {p:?}"
+            );
+        }
+        // It touches both the cluster's inner column and the bridge.
+        assert!(na.iter().any(|n| plan.topology.position(*n).x <= 3.0));
+        assert!(na.iter().any(|n| plan.topology.position(*n).x >= 4.0));
+    }
+
+    #[test]
+    fn two_tier_still_keeps_tunnel_multi_hop() {
+        let plan = two_cluster(2);
+        plan.validate().unwrap();
+        let span = plan.tunnel_span_hops(0).unwrap();
+        assert!(span >= 2, "2-tier tunnel span {span}");
+    }
+
+    #[test]
+    fn custom_geometry_scales() {
+        let plan = two_cluster_with(TwoClusterConfig {
+            cluster_side: 3,
+            bridge_rows: 1,
+            bridge_cols: 7,
+            tier: 1,
+        });
+        assert_eq!(plan.topology.len(), 9 + 7 + 9 + 2);
+        plan.validate().unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! Graph algorithms over the radio connectivity.
+//!
+//! These run on the *true* topology (no tunnels) and are used for scenario
+//! validation (connectivity), for measuring how many radio hops a wormhole
+//! tunnel spans, and by tests as an oracle for route plausibility.
+
+use super::Topology;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Hop distance from `src` to every node by breadth-first search.
+/// `None` means unreachable.
+pub fn bfs_hops(topo: &Topology, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.len()];
+    let mut q = VecDeque::new();
+    dist[src.idx()] = Some(0);
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.idx()].expect("queued node has distance");
+        for &v in topo.neighbors(u) {
+            if dist[v.idx()].is_none() {
+                dist[v.idx()] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between two nodes, if connected.
+pub fn hop_distance(topo: &Topology, a: NodeId, b: NodeId) -> Option<u32> {
+    bfs_hops(topo, a)[b.idx()]
+}
+
+/// Whether every node can reach every other node.
+pub fn is_connected(topo: &Topology) -> bool {
+    if topo.is_empty() {
+        return true;
+    }
+    bfs_hops(topo, NodeId(0)).iter().all(Option::is_some)
+}
+
+/// One shortest path from `src` to `dst` (BFS parent chain), inclusive of
+/// both endpoints. Deterministic: neighbours are explored in id order.
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; topo.len()];
+    let mut seen = vec![false; topo.len()];
+    let mut q = VecDeque::new();
+    seen[src.idx()] = true;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &v in topo.neighbors(u) {
+            if !seen[v.idx()] {
+                seen[v.idx()] = true;
+                parent[v.idx()] = Some(u);
+                if v == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = parent[cur.idx()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// The eccentricity-style diameter in hops (longest shortest path over all
+/// pairs); `None` if disconnected. O(V·E) — fine at simulation scale.
+pub fn hop_diameter(topo: &Topology) -> Option<u32> {
+    let mut best = 0;
+    for s in topo.nodes() {
+        for d in bfs_hops(topo, s) {
+            best = best.max(d?);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Pos;
+
+    fn line(n: usize) -> Topology {
+        Topology::new((0..n).map(|i| Pos::new(i as f64, 0.0)).collect(), 1.1)
+    }
+
+    #[test]
+    fn bfs_on_a_line() {
+        let t = line(5);
+        let d = bfs_hops(&t, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(hop_distance(&t, NodeId(0), NodeId(4)), Some(4));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::new(
+            vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+            1.0,
+        );
+        assert!(!is_connected(&t));
+        assert_eq!(hop_distance(&t, NodeId(0), NodeId(1)), None);
+        assert_eq!(hop_diameter(&t), None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let t = line(6);
+        let p = shortest_path(&t, NodeId(1), NodeId(5)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(1)));
+        assert_eq!(p.last(), Some(&NodeId(5)));
+        for w in p.windows(2) {
+            assert!(t.are_neighbors(w[0], w[1]));
+        }
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_missing() {
+        let t = line(3);
+        assert_eq!(shortest_path(&t, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        let t2 = Topology::new(vec![Pos::new(0.0, 0.0), Pos::new(9.0, 0.0)], 1.0);
+        assert_eq!(shortest_path(&t2, NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn diameter_of_line() {
+        assert_eq!(hop_diameter(&line(7)), Some(6));
+        let empty = Topology::new(vec![], 1.0);
+        assert_eq!(hop_diameter(&empty), Some(0));
+        assert!(is_connected(&empty));
+    }
+}

@@ -1,0 +1,142 @@
+//! Uniform grid topologies (paper Fig. 2 and Fig. 8).
+
+use super::{AttackerPair, NetworkPlan, Pos, Topology};
+use crate::ids::NodeId;
+use crate::radio::range_for_tier;
+
+/// A `cols × rows` unit-spaced grid with one wormhole pair at mid-height
+/// near the left and right edges.
+///
+/// Node ids: grid nodes come first in row-major order (`id = row*cols +
+/// col`), then attacker `a` (left) and attacker `b` (right). Attackers sit
+/// at half-cell offsets (`x = 0.5` and `x = cols − 1.5`) at mid-height:
+/// each is an ordinary, locally-connected node near its edge of the grid —
+/// the tunnel is the only thing special about it.
+///
+/// The paper's setups are `uniform_grid(6, 6, 1)` (Fig. 2; the short ~6-hop
+/// attack link that detects weakly) and `uniform_grid(10, 6, 1)` (Fig. 8;
+/// the long ~10-hop link). Sources are drawn from the leftmost column,
+/// destinations from the rightmost, per "the source is randomly chosen from
+/// left side of the network (close to one attacker) and the destination …
+/// from the opposite side".
+pub fn uniform_grid(cols: usize, rows: usize, tier: u8) -> NetworkPlan {
+    assert!(cols >= 3 && rows >= 2, "grid too small to be interesting");
+    let mut positions = Vec::with_capacity(cols * rows + 2);
+    for row in 0..rows {
+        for col in 0..cols {
+            positions.push(Pos::new(col as f64, row as f64));
+        }
+    }
+    let mid_y = (rows as f64 - 1.0) / 2.0;
+    let a = NodeId::from_idx(positions.len());
+    positions.push(Pos::new(0.5, mid_y));
+    let b = NodeId::from_idx(positions.len());
+    positions.push(Pos::new(cols as f64 - 1.5, mid_y));
+
+    let topology = Topology::new(positions, range_for_tier(tier));
+    let src_pool = (0..rows)
+        .map(|r| NodeId::from_idx(r * cols))
+        .collect::<Vec<_>>();
+    let dst_pool = (0..rows)
+        .map(|r| NodeId::from_idx(r * cols + cols - 1))
+        .collect::<Vec<_>>();
+
+    let plan = NetworkPlan {
+        name: format!("uniform-{cols}x{rows}-{tier}tier"),
+        topology,
+        src_pool,
+        dst_pool,
+        attacker_pairs: vec![AttackerPair { a, b }],
+    };
+    debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+    plan
+}
+
+/// Node id of the grid cell `(col, row)` in a plan built by
+/// [`uniform_grid`].
+pub fn grid_node(cols: usize, col: usize, row: usize) -> NodeId {
+    NodeId::from_idx(row * cols + col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::graph;
+
+    #[test]
+    fn six_by_six_matches_paper_setup() {
+        let plan = uniform_grid(6, 6, 1);
+        assert_eq!(plan.topology.len(), 38); // 36 grid + 2 attackers
+        assert_eq!(plan.src_pool.len(), 6);
+        assert_eq!(plan.dst_pool.len(), 6);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn attackers_have_local_connectivity_only() {
+        let plan = uniform_grid(6, 6, 1);
+        let pair = plan.attacker_pairs[0];
+        let na = plan.topology.neighbors(pair.a);
+        // The half-offset placement keeps the attacker inside the left
+        // third of the grid: a well-connected but ordinary local node.
+        assert!(
+            (4..=12).contains(&na.len()),
+            "left attacker neighbours: {na:?}"
+        );
+        for &n in na {
+            if n.idx() < 36 {
+                assert!(
+                    plan.topology.position(n).x <= 2.0,
+                    "left attacker reaches too far right: {n}"
+                );
+            }
+        }
+        // Attackers are far outside each other's radio range.
+        assert!(!plan.topology.are_neighbors(pair.a, pair.b));
+    }
+
+    #[test]
+    fn tunnel_span_grows_with_grid_width() {
+        let short = uniform_grid(6, 6, 1).tunnel_span_hops(0).unwrap();
+        let long = uniform_grid(10, 6, 1).tunnel_span_hops(0).unwrap();
+        assert!(long > short, "long {long} vs short {short}");
+        assert!(short >= 3, "even the 6x6 tunnel spans several hops");
+    }
+
+    #[test]
+    fn one_tier_grid_has_king_move_neighbors() {
+        let plan = uniform_grid(6, 6, 1);
+        // Interior node (2,2): 8 grid neighbours; may also see an attacker.
+        let n = grid_node(6, 2, 2);
+        let grid_neighbors = plan
+            .topology
+            .neighbors(n)
+            .iter()
+            .filter(|id| id.idx() < 36)
+            .count();
+        assert_eq!(grid_neighbors, 8);
+    }
+
+    #[test]
+    fn two_tier_extends_reach() {
+        let t1 = uniform_grid(6, 6, 1);
+        let t2 = uniform_grid(6, 6, 2);
+        let n = grid_node(6, 2, 2);
+        assert!(t2.topology.neighbors(n).len() > t1.topology.neighbors(n).len());
+        // Hop diameter shrinks when range grows.
+        let d1 = graph::hop_diameter(&t1.topology).unwrap();
+        let d2 = graph::hop_diameter(&t2.topology).unwrap();
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn pools_are_on_opposite_sides() {
+        let plan = uniform_grid(8, 4, 1);
+        for &s in &plan.src_pool {
+            assert_eq!(plan.topology.position(s).x, 0.0);
+        }
+        for &d in &plan.dst_pool {
+            assert_eq!(plan.topology.position(d).x, 7.0);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Slow-mobility modelling via topology perturbation.
+//!
+//! The paper's study is static ("node mobility is not considered"), and
+//! SAM's profiles are trained per topology. Real deployments drift: nodes
+//! move a little between discoveries. We model *slow* mobility as a
+//! per-discovery perturbation of node positions — each discovery sees a
+//! connectivity graph jittered around the nominal placement — which is
+//! exactly the regime the paper's eq. (8)–(9) forgetting-factor profile
+//! update is meant to track. The `ablation_mobility` experiment measures
+//! how much drift the trained profile tolerates.
+
+use super::{NetworkPlan, Pos, Topology};
+use crate::topology::graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum retries for a connected perturbation before giving up.
+const MAX_ATTEMPTS: u32 = 32;
+
+impl NetworkPlan {
+    /// A copy of this plan with every node position independently
+    /// jittered by up to `±radius` per axis (uniform), keeping all roles
+    /// (pools, attacker pairs) and the radio range.
+    ///
+    /// Retries with derived seeds until the perturbed radio graph is
+    /// connected; returns `None` when `radius` is so large that no
+    /// connected perturbation was found in the retry budget.
+    pub fn perturbed(&self, radius: f64, seed: u64) -> Option<NetworkPlan> {
+        assert!(radius >= 0.0 && radius.is_finite());
+        if radius == 0.0 {
+            return Some(self.clone());
+        }
+        for attempt in 0..MAX_ATTEMPTS {
+            let mut rng =
+                StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ u64::from(attempt));
+            let positions: Vec<Pos> = self
+                .topology
+                .positions()
+                .iter()
+                .map(|p| {
+                    Pos::new(
+                        p.x + rng.random_range(-radius..=radius),
+                        p.y + rng.random_range(-radius..=radius),
+                    )
+                })
+                .collect();
+            let topology = Topology::new(positions, self.topology.range());
+            if graph::is_connected(&topology) {
+                let mut plan = self.clone();
+                plan.name = format!("{}+drift{radius:.2}", self.name);
+                plan.topology = topology;
+                return Some(plan);
+            }
+        }
+        None
+    }
+
+    /// A sequence of `count` independently perturbed plans (one per
+    /// discovery), as a slow-mobility trace. Panics if any step fails —
+    /// callers pick radii where connectivity survives.
+    pub fn drift_sequence(&self, radius: f64, count: usize, seed: u64) -> Vec<NetworkPlan> {
+        (0..count)
+            .map(|i| {
+                self.perturbed(radius, seed.wrapping_add(i as u64 * 7919))
+                    .unwrap_or_else(|| {
+                        panic!("no connected perturbation at radius {radius} (step {i})")
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::topology::cluster::two_cluster;
+    use crate::topology::grid::uniform_grid;
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let plan = uniform_grid(6, 6, 1);
+        let p = plan.perturbed(0.0, 1).unwrap();
+        assert_eq!(p.topology.positions(), plan.topology.positions());
+    }
+
+    #[test]
+    fn small_perturbation_keeps_roles_and_connectivity() {
+        let plan = two_cluster(1);
+        let p = plan.perturbed(0.1, 3).unwrap();
+        assert_eq!(p.src_pool, plan.src_pool);
+        assert_eq!(p.dst_pool, plan.dst_pool);
+        assert_eq!(p.attacker_pairs, plan.attacker_pairs);
+        p.validate().unwrap();
+        // Positions actually moved.
+        assert_ne!(p.topology.positions(), plan.topology.positions());
+        // But not far.
+        for (a, b) in p
+            .topology
+            .positions()
+            .iter()
+            .zip(plan.topology.positions())
+        {
+            assert!(a.dist(*b) <= 0.15);
+        }
+    }
+
+    #[test]
+    fn perturbation_is_seed_deterministic() {
+        let plan = uniform_grid(6, 6, 1);
+        let a = plan.perturbed(0.2, 9).unwrap();
+        let b = plan.perturbed(0.2, 9).unwrap();
+        assert_eq!(a.topology.positions(), b.topology.positions());
+        let c = plan.perturbed(0.2, 10).unwrap();
+        assert_ne!(a.topology.positions(), c.topology.positions());
+    }
+
+    #[test]
+    fn drift_sequence_produces_distinct_connected_plans() {
+        let plan = uniform_grid(6, 6, 1);
+        let seq = plan.drift_sequence(0.15, 4, 0);
+        assert_eq!(seq.len(), 4);
+        for p in &seq {
+            p.validate().unwrap();
+        }
+        assert_ne!(
+            seq[0].topology.positions(),
+            seq[1].topology.positions(),
+            "steps must differ"
+        );
+    }
+
+    #[test]
+    fn absurd_radius_fails_gracefully() {
+        // Scattering a sparse bridge over ±50 units disconnects it.
+        let plan = two_cluster(1);
+        assert!(plan.perturbed(50.0, 0).is_none());
+    }
+}

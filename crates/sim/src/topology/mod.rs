@@ -1,0 +1,303 @@
+//! Network topologies.
+//!
+//! The paper evaluates SAM on three topology families, all reproduced here:
+//!
+//! * **two-cluster** ([`cluster::two_cluster`]) — two 4×4 hot spots joined
+//!   by a sparse 2×5 bridge (Fig. 1), "people in a library … communicate
+//!   with people in a nearby building";
+//! * **uniform grid** ([`grid::uniform_grid`]) — 6×6 (Fig. 2) and 6×10
+//!   (Fig. 8) unit-spaced grids;
+//! * **random** ([`random::random_topology`]) — uniformly placed nodes in a
+//!   square (Fig. 9).
+//!
+//! Every generator returns a [`NetworkPlan`]: the node placement plus the
+//! roles the experiments need (source pool, destination pool, the attacker
+//! pair positions). Attacker nodes are *always present in the topology* —
+//! whether their tunnel is active is decided later by the attack wiring —
+//! so "normal" and "under attack" runs use the identical node set, exactly
+//! the comparison the paper makes.
+
+pub mod cluster;
+pub mod graph;
+pub mod grid;
+pub mod mobility;
+pub mod random;
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane, in abstract distance units (grid spacing = 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pos {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Pos {
+    /// A point at `(x, y)`.
+    pub fn new(x: f64, y: f64) -> Self {
+        Pos { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Pos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Static node placement plus the disc-radio connectivity derived from it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Pos>,
+    range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build a topology from explicit positions and a common radio range.
+    /// Neighbour lists are precomputed; links are bidirectional by
+    /// construction (shared range).
+    pub fn new(positions: Vec<Pos>, range: f64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].dist(positions[j]) <= range {
+                    neighbors[i].push(NodeId::from_idx(j));
+                    neighbors[j].push(NodeId::from_idx(i));
+                }
+            }
+        }
+        Topology {
+            positions,
+            range,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, id: NodeId) -> Pos {
+        self.positions[id.idx()]
+    }
+
+    /// All positions, indexed by node id.
+    pub fn positions(&self) -> &[Pos] {
+        &self.positions
+    }
+
+    /// The common radio range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Radio neighbours of `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.idx()]
+    }
+
+    /// Whether `a` and `b` are within radio range of each other.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.idx()].contains(&b)
+    }
+
+    /// Euclidean distance between two nodes.
+    pub fn dist(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).dist(self.position(b))
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::from_idx)
+    }
+}
+
+/// A pair of colluding wormhole endpoints as placed by a generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerPair {
+    /// First endpoint (left/source side by generator convention).
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+}
+
+/// A topology plus the experiment roles defined on it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    /// Human-readable scenario name, e.g. `"cluster-1tier"`.
+    pub name: String,
+    /// The node placement and connectivity.
+    pub topology: Topology,
+    /// Candidate source nodes (drawn per run, per the paper's rule for the
+    /// topology family).
+    pub src_pool: Vec<NodeId>,
+    /// Candidate destination nodes.
+    pub dst_pool: Vec<NodeId>,
+    /// Wormhole endpoint pairs placed by the generator (tunnels may or may
+    /// not be activated by the experiment).
+    pub attacker_pairs: Vec<AttackerPair>,
+}
+
+impl NetworkPlan {
+    /// Ids of all attacker nodes (both endpoints of every pair).
+    pub fn attacker_nodes(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.attacker_pairs.len() * 2);
+        for p in &self.attacker_pairs {
+            v.push(p.a);
+            v.push(p.b);
+        }
+        v
+    }
+
+    /// Ids of non-attacker nodes.
+    pub fn legit_nodes(&self) -> Vec<NodeId> {
+        let attackers = self.attacker_nodes();
+        self.topology
+            .nodes()
+            .filter(|n| !attackers.contains(n))
+            .collect()
+    }
+
+    /// Hop distance between the endpoints of pair `i` through the *real*
+    /// radio topology (not using any tunnel). The paper's premise is that
+    /// this is much greater than one hop: "the wormhole nodes can tunnel
+    /// much more than one hop".
+    pub fn tunnel_span_hops(&self, i: usize) -> Option<u32> {
+        let p = self.attacker_pairs.get(i)?;
+        graph::bfs_hops(&self.topology, p.a)[p.b.idx()]
+    }
+
+    /// Extend the plan with one more wormhole pair at explicit positions
+    /// (multi-wormhole scenarios, paper §III.D). The topology is rebuilt
+    /// with the two new nodes appended, preserving all existing ids.
+    pub fn with_additional_pair(&self, pos_a: Pos, pos_b: Pos) -> NetworkPlan {
+        let mut positions = self.topology.positions().to_vec();
+        let a = NodeId::from_idx(positions.len());
+        positions.push(pos_a);
+        let b = NodeId::from_idx(positions.len());
+        positions.push(pos_b);
+        let mut plan = self.clone();
+        plan.topology = Topology::new(positions, self.topology.range());
+        plan.attacker_pairs.push(AttackerPair { a, b });
+        plan
+    }
+
+    /// Sanity-check the plan: non-empty pools, every pool member exists,
+    /// attackers distinct, and the radio graph is connected.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.src_pool.is_empty() || self.dst_pool.is_empty() {
+            return Err("empty source/destination pool".into());
+        }
+        let n = self.topology.len();
+        for pool in [&self.src_pool, &self.dst_pool] {
+            if let Some(bad) = pool.iter().find(|id| id.idx() >= n) {
+                return Err(format!("pool node {bad} out of range"));
+            }
+        }
+        for p in &self.attacker_pairs {
+            if p.a == p.b {
+                return Err(format!("attacker pair {p:?} is degenerate"));
+            }
+            if p.a.idx() >= n || p.b.idx() >= n {
+                return Err(format!("attacker pair {p:?} out of range"));
+            }
+        }
+        if !graph::is_connected(&self.topology) {
+            return Err("radio graph is not connected".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let pos = (0..n).map(|i| Pos::new(i as f64, 0.0)).collect();
+        Topology::new(pos, 1.1)
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = line(5);
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert!(t.are_neighbors(b, a), "{a}->{b} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn line_topology_connectivity() {
+        let t = line(4);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert!(!t.are_neighbors(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn dist_matches_euclid() {
+        let t = Topology::new(vec![Pos::new(0.0, 0.0), Pos::new(3.0, 4.0)], 10.0);
+        assert!((t.dist(NodeId(0), NodeId(1)) - 5.0).abs() < 1e-12);
+        assert!(t.are_neighbors(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn plan_validation_catches_empty_pools() {
+        let plan = NetworkPlan {
+            name: "x".into(),
+            topology: line(3),
+            src_pool: vec![],
+            dst_pool: vec![NodeId(2)],
+            attacker_pairs: vec![],
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn plan_validation_catches_degenerate_pair() {
+        let plan = NetworkPlan {
+            name: "x".into(),
+            topology: line(3),
+            src_pool: vec![NodeId(0)],
+            dst_pool: vec![NodeId(2)],
+            attacker_pairs: vec![AttackerPair {
+                a: NodeId(1),
+                b: NodeId(1),
+            }],
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn legit_nodes_excludes_attackers() {
+        let plan = NetworkPlan {
+            name: "x".into(),
+            topology: line(4),
+            src_pool: vec![NodeId(0)],
+            dst_pool: vec![NodeId(3)],
+            attacker_pairs: vec![AttackerPair {
+                a: NodeId(1),
+                b: NodeId(2),
+            }],
+        };
+        assert_eq!(plan.legit_nodes(), vec![NodeId(0), NodeId(3)]);
+        assert_eq!(plan.attacker_nodes(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(plan.tunnel_span_hops(0), Some(1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Random topologies (paper Fig. 9).
+//!
+//! Node coordinates are drawn uniformly in a square; the generator retries
+//! (with derived seeds) until the radio graph is connected, so every
+//! returned plan is usable. Attackers sit at mid-height near the left and
+//! right edges, matching the paper's setup where the source side is close
+//! to one attacker and the destination side to the other.
+
+use super::{AttackerPair, NetworkPlan, Pos, Topology};
+use crate::ids::NodeId;
+use crate::radio::range_for_tier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a random placement.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Number of legitimate nodes.
+    pub nodes: usize,
+    /// Side length of the square deployment area, in radio-range units of
+    /// the unit grid (the 6×6 uniform grid spans 5.0).
+    pub side: f64,
+    /// Transmission-range tier (same disc radii as the grid topologies).
+    pub tier: u8,
+    /// Pool size: the source pool is the `pool_size` legitimate nodes
+    /// nearest the left attacker, the destination pool the `pool_size`
+    /// nearest the right attacker — the paper draws "the source … from
+    /// left side of the network (close to one attacker) and the
+    /// destination … from the opposite side (close to another attacker)".
+    pub pool_size: usize,
+    /// Maximum connectivity retries before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        // 120 nodes over a 12×12 area: mean degree ≈ 8 at the 1-tier
+        // range (reliably connected) while the edge-to-edge tunnel spans
+        // ≥7 radio hops, so a wormhole route beats any honest pool-to-pool
+        // route by several hops — the paper's "the length of the tunneled
+        // link … has to be long enough" precondition.
+        RandomConfig {
+            nodes: 120,
+            side: 12.0,
+            tier: 1,
+            pool_size: 6,
+            max_attempts: 256,
+        }
+    }
+}
+
+/// Draw a connected random topology with the default (paper-scale)
+/// parameters. Panics only if connectivity cannot be achieved within the
+/// retry budget, which at the default density is effectively impossible.
+pub fn random_topology(seed: u64) -> NetworkPlan {
+    random_topology_with(RandomConfig::default(), seed)
+}
+
+/// Draw a connected random topology with explicit parameters.
+pub fn random_topology_with(cfg: RandomConfig, seed: u64) -> NetworkPlan {
+    assert!(cfg.nodes >= 4, "need at least a handful of nodes");
+    assert!(cfg.side > 1.0);
+    let range = range_for_tier(cfg.tier);
+
+    for attempt in 0..cfg.max_attempts {
+        // Derive a fresh stream per attempt so retries do not correlate.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64);
+        let mut positions: Vec<Pos> = (0..cfg.nodes)
+            .map(|_| {
+                Pos::new(
+                    rng.random_range(0.0..cfg.side),
+                    rng.random_range(0.0..cfg.side),
+                )
+            })
+            .collect();
+
+        let a = NodeId::from_idx(positions.len());
+        positions.push(Pos::new(0.5, cfg.side / 2.0));
+        let b = NodeId::from_idx(positions.len());
+        positions.push(Pos::new(cfg.side - 0.5, cfg.side / 2.0));
+
+        let topology = Topology::new(positions, range);
+        let nearest_pool = |anchor: NodeId| -> Vec<NodeId> {
+            let mut nodes: Vec<NodeId> = (0..cfg.nodes).map(NodeId::from_idx).collect();
+            nodes.sort_by(|&u, &v| {
+                topology
+                    .dist(anchor, u)
+                    .total_cmp(&topology.dist(anchor, v))
+            });
+            nodes.truncate(cfg.pool_size.max(1));
+            nodes
+        };
+        let src_pool = nearest_pool(a);
+        let dst_pool = nearest_pool(b);
+
+        let plan = NetworkPlan {
+            name: format!("random-{}n-{}tier-seed{}", cfg.nodes, cfg.tier, seed),
+            topology,
+            src_pool,
+            dst_pool,
+            attacker_pairs: vec![AttackerPair { a, b }],
+        };
+        if plan.validate().is_ok() && plan.tunnel_span_hops(0).unwrap_or(0) >= 3 {
+            return plan;
+        }
+    }
+    panic!(
+        "could not draw a connected random topology in {} attempts (nodes={}, side={}, tier={})",
+        cfg.max_attempts, cfg.nodes, cfg.side, cfg.tier
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::graph;
+
+    #[test]
+    fn default_random_topology_is_connected() {
+        for seed in 0..5 {
+            let plan = random_topology(seed);
+            assert!(graph::is_connected(&plan.topology), "seed {seed}");
+            plan.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_placements() {
+        let a = random_topology(1);
+        let b = random_topology(2);
+        assert_ne!(
+            a.topology.positions()[0].x,
+            b.topology.positions()[0].x,
+            "different seeds should move nodes"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = random_topology(7);
+        let b = random_topology(7);
+        assert_eq!(a.topology.positions(), b.topology.positions());
+    }
+
+    #[test]
+    fn pools_cluster_around_their_attacker() {
+        let plan = random_topology(3);
+        let pair = plan.attacker_pairs[0];
+        assert_eq!(plan.src_pool.len(), 6);
+        assert_eq!(plan.dst_pool.len(), 6);
+        // Pool members are closer to their own attacker than to the peer.
+        for &s in &plan.src_pool {
+            assert!(plan.topology.dist(s, pair.a) < plan.topology.dist(s, pair.b));
+        }
+        for &d in &plan.dst_pool {
+            assert!(plan.topology.dist(d, pair.b) < plan.topology.dist(d, pair.a));
+        }
+        // Pools contain no attacker.
+        assert!(!plan.src_pool.contains(&pair.a) && !plan.src_pool.contains(&pair.b));
+    }
+
+    #[test]
+    fn tunnel_spans_multiple_hops() {
+        for seed in 0..5 {
+            let plan = random_topology(seed);
+            assert!(plan.tunnel_span_hops(0).unwrap() >= 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_config_eventually_fails_or_connects() {
+        // A denser-than-default config must succeed quickly.
+        let cfg = RandomConfig {
+            nodes: 50,
+            side: 4.0,
+            ..RandomConfig::default()
+        };
+        let plan = random_topology_with(cfg, 0);
+        plan.validate().unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! Structural event tracing.
+//!
+//! When enabled on a [`Network`](crate::engine::Network), every dispatched
+//! event is recorded *structurally* — time, node, channel, peers — without
+//! cloning message payloads, so tracing stays cheap enough for tests and
+//! post-mortem analysis of whole discoveries (e.g. verifying the flood
+//! wavefront ordering, or counting how often a tunnel fired).
+
+use crate::event::Channel;
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What kind of event was dispatched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message delivery over the given channel.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Delivery channel.
+        channel: TraceChannel,
+    },
+    /// A timer firing with the given key.
+    Timer {
+        /// Behaviour-defined key.
+        key: u64,
+    },
+}
+
+/// Serializable mirror of [`Channel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TraceChannel {
+    /// Over-the-air broadcast reception.
+    Broadcast,
+    /// Over-the-air unicast reception.
+    Unicast,
+    /// Out-of-band tunnel delivery.
+    Tunnel,
+}
+
+impl From<Channel> for TraceChannel {
+    fn from(c: Channel) -> Self {
+        match c {
+            Channel::Broadcast => TraceChannel::Broadcast,
+            Channel::Unicast => TraceChannel::Unicast,
+            Channel::Tunnel => TraceChannel::Tunnel,
+        }
+    }
+}
+
+/// One dispatched event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the event fired.
+    pub at: SimTime,
+    /// The node it was dispatched to.
+    pub node: NodeId,
+    /// What it was.
+    pub kind: TraceKind,
+}
+
+/// A bounded trace buffer. When full, further entries are counted but
+/// dropped (the capacity bound keeps long runs from ballooning).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace buffer holding up to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record one entry.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded entries, in dispatch order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries that exceeded the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear the buffer (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+
+    /// Deliveries to `node`, in order.
+    pub fn deliveries_to(&self, node: NodeId) -> impl Iterator<Item = &TraceEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.node == node && matches!(e.kind, TraceKind::Deliver { .. }))
+    }
+
+    /// Number of tunnel deliveries recorded (attack forensics).
+    pub fn tunnel_deliveries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Deliver {
+                        channel: TraceChannel::Tunnel,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// First delivery time at `node`, if any — the flood wavefront.
+    pub fn first_delivery_at(&self, node: NodeId) -> Option<SimTime> {
+        self.deliveries_to(node).map(|e| e.at).next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(at: u64, node: u32, from: u32, channel: TraceChannel) -> TraceEntry {
+        TraceEntry {
+            at: SimTime(at),
+            node: NodeId(node),
+            kind: TraceKind::Deliver {
+                from: NodeId(from),
+                channel,
+            },
+        }
+    }
+
+    #[test]
+    fn records_up_to_capacity_then_counts_drops() {
+        let mut t = Trace::with_capacity(2);
+        t.record(deliver(1, 0, 1, TraceChannel::Broadcast));
+        t.record(deliver(2, 0, 1, TraceChannel::Broadcast));
+        t.record(deliver(3, 0, 1, TraceChannel::Broadcast));
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn filters_by_node_and_channel() {
+        let mut t = Trace::with_capacity(10);
+        t.record(deliver(1, 5, 1, TraceChannel::Broadcast));
+        t.record(deliver(2, 5, 2, TraceChannel::Tunnel));
+        t.record(deliver(3, 6, 1, TraceChannel::Tunnel));
+        t.record(TraceEntry {
+            at: SimTime(4),
+            node: NodeId(5),
+            kind: TraceKind::Timer { key: 9 },
+        });
+        assert_eq!(t.deliveries_to(NodeId(5)).count(), 2);
+        assert_eq!(t.tunnel_deliveries(), 2);
+        assert_eq!(t.first_delivery_at(NodeId(5)), Some(SimTime(1)));
+        assert_eq!(t.first_delivery_at(NodeId(9)), None);
+    }
+}

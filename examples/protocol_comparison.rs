@@ -1,0 +1,46 @@
+//! Compare the four routing protocols under the same wormhole: how many
+//! routes each collects, how much discovery costs, how exposed each is
+//! (Table I/II generalized), and how well SAM's features separate.
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use wormhole_sam::prelude::*;
+
+fn main() {
+    let runs = 10u64;
+    println!(
+        "{:<8} {:>8} {:>10} {:>11} {:>13} {:>13}",
+        "protocol", "routes", "overhead", "%affected", "p_max normal", "p_max attack"
+    );
+    for protocol in [
+        ProtocolKind::Dsr,
+        ProtocolKind::Aomdv,
+        ProtocolKind::Smr,
+        ProtocolKind::Mr,
+    ] {
+        let normal = ScenarioSpec::normal(TopologyKind::cluster1(), protocol);
+        let attacked = normal.with_wormholes(1);
+        let n = run_series(&normal, runs);
+        let a = run_series(&attacked, runs);
+        println!(
+            "{:<8} {:>8.1} {:>10.0} {:>11.1} {:>13.3} {:>13.3}",
+            protocol.label(),
+            mean_of(&a, |r| r.n_routes as f64),
+            mean_of(&a, |r| r.overhead as f64),
+            100.0 * mean_of(&a, |r| r.affected),
+            mean_of(&n, |r| r.p_max),
+            mean_of(&a, |r| r.p_max),
+        );
+    }
+
+    println!();
+    println!("observations (cf. paper Tables I–II, Figs. 13–14, §V):");
+    println!(" * every protocol's routes are captured in the cluster topology;");
+    println!(" * multi-path rules (SMR, MR) hand SAM far more route material than DSR/AOMDV;");
+    println!(" * MR pays the highest discovery overhead — justified because a new");
+    println!("   discovery is needed only when ALL paths break;");
+    println!(" * p_max separates attack from normal for every protocol, the paper's");
+    println!("   argument that SAM generalizes beyond MR.");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: one route discovery, one wormhole, one detection.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wormhole_sam::prelude::*;
+
+fn main() {
+    // The paper's Fig. 2 setup: a 6×10 uniform grid with a wormhole pair
+    // whose tunnel spans ~7 radio hops.
+    let plan = uniform_grid(10, 6, 1);
+    let src = plan.src_pool[2];
+    let dst = plan.dst_pool[3];
+    let pair = plan.attacker_pairs[0];
+    println!(
+        "network: {} nodes, radio range {:.2}; tunnel {}–{} spans {} hops",
+        plan.topology.len(),
+        plan.topology.range(),
+        pair.a,
+        pair.b,
+        plan.tunnel_span_hops(0).unwrap()
+    );
+
+    // Train SAM's normal profile from attack-free discoveries.
+    let normal_sets: Vec<Vec<Route>> = (0..10)
+        .map(|seed| {
+            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed)
+                .routes
+        })
+        .collect();
+    let detector = SamDetector::default();
+    let profile = NormalProfile::train(&normal_sets, detector.config().pmf_bins);
+    println!(
+        "trained profile over {} discoveries: p_max {:.3} ± {:.3}, Δ {:.3} ± {:.3}",
+        normal_sets.len(),
+        profile.p_max.mean,
+        profile.p_max.std,
+        profile.delta.mean,
+        profile.delta.std
+    );
+
+    // A normal discovery passes…
+    let normal = run_attacked_discovery(
+        &plan,
+        ProtocolKind::Mr,
+        &AttackWiring::none(),
+        src,
+        dst,
+        99,
+    );
+    let verdict = detector.analyze(&normal.routes, &profile);
+    println!(
+        "normal discovery: {} routes, p_max {:.3}, Δ {:.3} → anomalous: {} (λ = {:.3})",
+        normal.routes.len(),
+        verdict.features.p_max,
+        verdict.features.delta,
+        verdict.anomalous,
+        verdict.lambda
+    );
+    assert!(!verdict.anomalous);
+
+    // …and a wormholed one is flagged and localized.
+    let attacked =
+        run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 99);
+    let verdict = detector.analyze(&attacked.routes, &profile);
+    println!(
+        "attacked discovery: {} routes ({}% affected), p_max {:.3}, Δ {:.3} → anomalous: {} (λ = {:.3})",
+        attacked.routes.len(),
+        (100.0 * affected_fraction(&attacked.routes, pair)).round(),
+        verdict.features.p_max,
+        verdict.features.delta,
+        verdict.anomalous,
+        verdict.lambda
+    );
+    assert!(verdict.anomalous);
+    let suspect = verdict.suspect_link.expect("attack link identified");
+    println!("suspect link: {suspect} (ground truth: {}-{})", pair.a, pair.b);
+    assert_eq!(suspect, tunnel_link(pair));
+    println!("SAM detected the wormhole and localized both attackers.");
+}

@@ -1,0 +1,69 @@
+//! # wormhole-sam
+//!
+//! A from-scratch Rust reproduction of *"Wormhole Attacks Detection in
+//! Wireless Ad Hoc Networks: A Statistical Analysis Approach"* (Song,
+//! Qian, Li — IPDPS/IPPS workshops 2005): the **SAM** detector plus the
+//! entire simulation stack it is evaluated on.
+//!
+//! SAM detects wormhole attacks — and localizes the colluding pair —
+//! using only the route set a multi-path route discovery already
+//! produces: under a wormhole the tunneled link rides on almost every
+//! route, so the maximum link relative frequency `p_max` and the top-two
+//! gap `Δ` spike. No clock synchronization, GPS, directional antennas, or
+//! protocol changes are required.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`sim`] (`manet-sim`) | discrete-event engine, radio model, topologies, metrics |
+//! | [`routing`] (`manet-routing`) | DSR, MR (the paper's SMR-like protocol), SMR, AOMDV |
+//! | [`attacks`] (`manet-attacks`) | wormhole (participation/hidden, multi-pair), blackhole/grayhole |
+//! | [`sam`] | link statistics, PMF profiles, detector, 3-step procedure, IDS agent |
+//! | [`experiments`] (`sam-experiments`) | every table/figure of the paper + ablations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wormhole_sam::prelude::*;
+//!
+//! // The paper's Fig. 1 scenario: two clusters joined by a sparse bridge,
+//! // a wormhole endpoint flanking each cluster.
+//! let plan = two_cluster(1);
+//! let src = plan.src_pool[0];
+//! let dst = plan.dst_pool[0];
+//!
+//! // One multi-path route discovery under attack…
+//! let attacked = run_wormholed_discovery(
+//!     &plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 7,
+//! );
+//!
+//! // …and SAM's statistics expose the tunnel.
+//! let stats = LinkStats::from_routes(&attacked.routes);
+//! let tunnel = tunnel_link(plan.attacker_pairs[0]);
+//! assert!(stats.p_max() > 0.1);
+//! let top = stats.top_links_excluding(&[src, dst]);
+//! assert!(top.contains(&tunnel), "SAM localizes the attacker pair");
+//! ```
+//!
+//! See `examples/` for full scenarios (training, online detection, the
+//! three-step procedure with probe testing, protocol comparisons) and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use manet_attacks as attacks;
+pub use manet_routing as routing;
+pub use manet_sim as sim;
+pub use sam;
+pub use sam_experiments as experiments;
+
+/// Everything, in one import.
+pub mod prelude {
+    pub use manet_attacks::prelude::*;
+    pub use manet_routing::prelude::*;
+    pub use manet_sim::prelude::*;
+    pub use sam::prelude::*;
+    pub use sam_experiments::prelude::*;
+}

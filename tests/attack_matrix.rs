@@ -1,0 +1,150 @@
+//! Sanity matrix: every protocol × topology × wormhole mode combination
+//! must produce structurally valid results — routes that are real paths
+//! (modulo tunneled/replayed hops), non-truncated runs, sane counters.
+
+use wormhole_sam::prelude::*;
+
+fn check_routes(plan: &NetworkPlan, routes: &[Route], src: NodeId, dst: NodeId, allow_gaps: bool) {
+    for r in routes {
+        assert_eq!(r.src(), src, "{r}");
+        assert_eq!(r.dst(), dst, "{r}");
+        for w in r.nodes().windows(2) {
+            let adjacent = plan.topology.are_neighbors(w[0], w[1]);
+            if !adjacent {
+                assert!(
+                    allow_gaps,
+                    "non-adjacent hop {}-{} in {r} without an active tunnel",
+                    w[0], w[1]
+                );
+                // Gaps may only involve wormhole machinery: either an
+                // attacker endpoint (participation) or a replay span
+                // bridging two attacker neighbourhoods (hidden).
+                let attackers = plan.attacker_nodes();
+                let touches_attacker =
+                    attackers.contains(&w[0]) || attackers.contains(&w[1]);
+                let spans_neighbourhoods = attackers.iter().any(|&x| {
+                    plan.topology.are_neighbors(w[0], x)
+                }) && attackers.iter().any(|&x| plan.topology.are_neighbors(w[1], x));
+                assert!(
+                    touches_attacker || spans_neighbourhoods,
+                    "gap {}-{} unrelated to attackers in {r}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_protocols_by_topologies_normal() {
+    let protocols = [
+        ProtocolKind::Dsr,
+        ProtocolKind::Mr,
+        ProtocolKind::Smr,
+        ProtocolKind::Aomdv,
+    ];
+    let topologies = [
+        TopologyKind::cluster1(),
+        TopologyKind::cluster2(),
+        TopologyKind::uniform6x6(),
+        TopologyKind::uniform10x6(),
+        TopologyKind::Random,
+    ];
+    for topology in topologies {
+        let plan = topology.build(1);
+        let src = plan.src_pool[0];
+        let dst = plan.dst_pool[0];
+        for protocol in protocols {
+            let out = run_discovery(&plan, protocol, src, dst, 11);
+            assert!(!out.truncated, "{protocol}/{}", topology.label());
+            assert!(
+                !out.routes.is_empty(),
+                "{protocol}/{}: no routes",
+                topology.label()
+            );
+            check_routes(&plan, &out.routes, src, dst, false);
+            assert!(out.overhead > 0);
+            // Multipath protocols return selected routes to the source.
+            if protocol.is_multipath() {
+                assert!(
+                    !out.source_routes.is_empty(),
+                    "{protocol}/{}: source got no RREPs",
+                    topology.label()
+                );
+                for r in &out.source_routes {
+                    assert!(out.routes.contains(r), "RREP route not from the collected set");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_wormhole_modes_by_topologies() {
+    let modes = [
+        ("participation", WormholeConfig::default()),
+        ("hidden", WormholeConfig::hidden()),
+        ("blackholing", WormholeConfig::blackholing()),
+    ];
+    let topologies = [
+        TopologyKind::cluster1(),
+        TopologyKind::uniform10x6(),
+        TopologyKind::Random,
+    ];
+    for topology in topologies {
+        let plan = topology.build(2);
+        let src = plan.src_pool[0];
+        let dst = plan.dst_pool[0];
+        for (name, cfg) in modes {
+            let out = run_wormholed_discovery(&plan, ProtocolKind::Mr, cfg, src, dst, 13);
+            assert!(!out.truncated, "{name}/{}", topology.label());
+            assert!(
+                !out.routes.is_empty(),
+                "{name}/{}: no routes",
+                topology.label()
+            );
+            check_routes(&plan, &out.routes, src, dst, true);
+            if cfg.mode == WormholeMode::Hidden {
+                // Hidden attackers never appear on routes.
+                let attackers = plan.attacker_nodes();
+                for r in &out.routes {
+                    for &a in &attackers {
+                        assert!(!r.contains(a), "{name}: attacker {a} on route {r}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_wormholes_on_every_growable_topology() {
+    for topology in [
+        TopologyKind::cluster1(),
+        TopologyKind::uniform6x6(),
+        TopologyKind::uniform10x6(),
+    ] {
+        let spec = ScenarioSpec::attacked(topology, ProtocolKind::Mr).with_wormholes(2);
+        let plan = build_plan(&spec, 0);
+        assert_eq!(plan.attacker_pairs.len(), 2, "{}", topology.label());
+        plan.validate().unwrap_or_else(|e| panic!("{}: {e}", topology.label()));
+        let rec = run_once(&spec, 0);
+        assert!(rec.n_routes > 0, "{}", topology.label());
+    }
+}
+
+#[test]
+fn overhead_ordering_dsr_lowest_mr_highest() {
+    // The duplicate-forwarding hierarchy translates directly into
+    // overhead: DSR ≤ SMR ≤ MR (AOMDV ≈ DSR at the RREQ level).
+    let plan = two_cluster(1);
+    let src = plan.src_pool[2];
+    let dst = plan.dst_pool[2];
+    let overhead = |p: ProtocolKind| run_discovery(&plan, p, src, dst, 17).overhead;
+    let dsr = overhead(ProtocolKind::Dsr);
+    let smr = overhead(ProtocolKind::Smr);
+    let mr = overhead(ProtocolKind::Mr);
+    assert!(dsr <= smr, "DSR {dsr} vs SMR {smr}");
+    assert!(smr <= mr, "SMR {smr} vs MR {mr}");
+}

@@ -1,0 +1,122 @@
+//! Reproducibility contract: every layer of the stack is a pure function
+//! of its seed. This is what makes the tables in EXPERIMENTS.md
+//! reviewable — anyone can regenerate them bit-for-bit.
+
+use wormhole_sam::prelude::*;
+
+#[test]
+fn topologies_are_seed_deterministic() {
+    for seed in [0u64, 1, 42] {
+        let a = random_topology(seed);
+        let b = random_topology(seed);
+        assert_eq!(a.topology.positions(), b.topology.positions());
+        assert_eq!(a.src_pool, b.src_pool);
+        assert_eq!(a.dst_pool, b.dst_pool);
+    }
+}
+
+#[test]
+fn discoveries_are_seed_deterministic_across_protocols() {
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    for proto in [
+        ProtocolKind::Dsr,
+        ProtocolKind::Mr,
+        ProtocolKind::Smr,
+        ProtocolKind::Aomdv,
+    ] {
+        let a = run_discovery(&plan, proto, src, dst, 5);
+        let b = run_discovery(&plan, proto, src, dst, 5);
+        assert_eq!(a.routes, b.routes, "{proto}");
+        assert_eq!(a.overhead, b.overhead, "{proto}");
+        assert_eq!(a.events, b.events, "{proto}");
+    }
+}
+
+#[test]
+fn attacked_discoveries_are_seed_deterministic() {
+    let plan = two_cluster(1);
+    let src = plan.src_pool[4];
+    let dst = plan.dst_pool[4];
+    for cfg in [
+        WormholeConfig::default(),
+        WormholeConfig::hidden(),
+        WormholeConfig::blackholing(),
+    ] {
+        let a = run_wormholed_discovery(&plan, ProtocolKind::Mr, cfg, src, dst, 9);
+        let b = run_wormholed_discovery(&plan, ProtocolKind::Mr, cfg, src, dst, 9);
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.overhead, b.overhead);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[1];
+    let dst = plan.dst_pool[1];
+    let outs: Vec<_> = (0..8)
+        .map(|seed| run_discovery(&plan, ProtocolKind::Mr, src, dst, seed))
+        .collect();
+    let distinct = outs
+        .iter()
+        .map(|o| o.routes.clone())
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(distinct >= 6, "only {distinct}/8 distinct route sets");
+}
+
+#[test]
+fn run_series_matches_sequential_run_once() {
+    let spec = ScenarioSpec::attacked(TopologyKind::uniform6x6(), ProtocolKind::Mr);
+    let parallel = run_series(&spec, 5);
+    for (i, rec) in parallel.iter().enumerate() {
+        let sequential = run_once(&spec, i as u64);
+        assert_eq!(rec.p_max, sequential.p_max, "run {i}");
+        assert_eq!(rec.overhead, sequential.overhead, "run {i}");
+        assert_eq!(rec.n_routes, sequential.n_routes, "run {i}");
+    }
+}
+
+#[test]
+fn experiment_tables_are_reproducible() {
+    // Representative cheap experiments regenerate identically.
+    for id in ["fig9", "fig5"] {
+        let a = run_experiment(id, 2).unwrap();
+        let b = run_experiment(id, 2).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.rows, tb.rows, "{id}");
+        }
+    }
+}
+
+#[test]
+fn detector_is_a_pure_function_of_its_inputs() {
+    let plan = two_cluster(1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    let sets: Vec<Vec<Route>> = (0..6)
+        .map(|s| {
+            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, s)
+                .routes
+        })
+        .collect();
+    let profile = NormalProfile::train(&sets, 20);
+    let live = run_wormholed_discovery(
+        &plan,
+        ProtocolKind::Mr,
+        WormholeConfig::default(),
+        src,
+        dst,
+        50,
+    )
+    .routes;
+    let d = SamDetector::default();
+    let a = d.analyze(&live, &profile);
+    let b = d.analyze(&live, &profile);
+    assert_eq!(a.lambda, b.lambda);
+    assert_eq!(a.suspect_link, b.suspect_link);
+    assert_eq!(a.anomalous, b.anomalous);
+}

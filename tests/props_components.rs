@@ -1,0 +1,153 @@
+//! Property-based tests for the supporting components: the route cache,
+//! the coordination fusion rules, and topology perturbation.
+
+use proptest::prelude::*;
+use wormhole_sam::prelude::*;
+
+fn arb_route(pool: u32, max_len: usize) -> impl Strategy<Value = Route> {
+    proptest::sample::subsequence((0..pool).collect::<Vec<u32>>(), 2..=max_len.max(2))
+        .prop_shuffle()
+        .prop_map(|ids| Route::new(ids.into_iter().map(NodeId).collect()).expect("loop-free"))
+}
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity(
+        routes in proptest::collection::vec(arb_route(16, 6), 1..40),
+        capacity in 1usize..8,
+    ) {
+        let mut cache = RouteCache::new(capacity, SimDuration::from_millis(1000));
+        for (i, r) in routes.iter().enumerate() {
+            cache.insert(r.clone(), SimTime::from_micros(i as u64));
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn cache_lookup_only_returns_routes_to_the_destination(
+        routes in proptest::collection::vec(arb_route(16, 6), 1..20),
+    ) {
+        let mut cache = RouteCache::new(64, SimDuration::from_millis(1000));
+        let now = SimTime::from_micros(10);
+        for r in &routes {
+            cache.insert(r.clone(), now);
+        }
+        for dst in (0..16).map(NodeId) {
+            if let Some(r) = cache.lookup(dst, now) {
+                prop_assert_eq!(r.dst(), dst);
+                // And it is the shortest cached route to dst.
+                let min = routes
+                    .iter()
+                    .filter(|x| x.dst() == dst)
+                    .map(Route::hops)
+                    .min()
+                    .expect("found one");
+                prop_assert_eq!(r.hops(), min);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invalidate_node_removes_exactly_the_matching_routes(
+        routes in proptest::collection::vec(arb_route(12, 6), 1..20),
+        victim in 0u32..12,
+    ) {
+        let mut cache = RouteCache::new(64, SimDuration::from_millis(1000));
+        let now = SimTime::from_micros(0);
+        let mut unique = Vec::new();
+        for r in routes {
+            if !unique.contains(&r) {
+                unique.push(r.clone());
+                cache.insert(r, now);
+            }
+        }
+        let expected_removed = unique.iter().filter(|r| r.contains(NodeId(victim))).count();
+        let removed = cache.invalidate_node(NodeId(victim));
+        prop_assert_eq!(removed, expected_removed);
+        prop_assert_eq!(cache.len(), unique.len() - expected_removed);
+    }
+
+    #[test]
+    fn coordinator_confidence_is_additive_and_order_free(
+        lambdas in proptest::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let report = |l: f64| AttackReport {
+            suspect_link: (NodeId(1), NodeId(2)),
+            lambda: l,
+            p_max: 0.2,
+            delta: 0.3,
+            probe_ack_ratio: 0.0,
+            paths_tested: 1,
+            isolate: vec![NodeId(1), NodeId(2)],
+        };
+        let mut forward = GlobalCoordinator::new();
+        for &l in &lambdas {
+            forward.ingest(&report(l));
+        }
+        let mut backward = GlobalCoordinator::new();
+        for &l in lambdas.iter().rev() {
+            backward.ingest(&report(l));
+        }
+        let expected: f64 = lambdas.iter().map(|l| 1.0 - l).sum();
+        let fv = forward.link_verdicts();
+        let bv = backward.link_verdicts();
+        prop_assert!((fv[0].confidence - expected).abs() < 1e-9);
+        prop_assert!((fv[0].confidence - bv[0].confidence).abs() < 1e-9);
+        prop_assert_eq!(fv[0].reports, lambdas.len());
+    }
+
+    #[test]
+    fn coordinator_node_mass_bounds_link_mass(
+        pairs in proptest::collection::vec((0u32..8, 0u32..8), 1..20),
+    ) {
+        let mut c = GlobalCoordinator::new();
+        let mut total = 0.0;
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            c.ingest(&AttackReport {
+                suspect_link: (NodeId(a), NodeId(b)),
+                lambda: 0.5,
+                p_max: 0.2,
+                delta: 0.3,
+                probe_ack_ratio: 0.0,
+                paths_tested: 1,
+                isolate: vec![],
+            });
+            total += 0.5;
+        }
+        // Every unit of link confidence appears on exactly two nodes.
+        let node_total: f64 = c.node_verdicts().iter().map(|v| v.confidence).sum();
+        prop_assert!((node_total - 2.0 * total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_moves_no_node_beyond_radius(
+        radius in 0.01f64..0.25,
+        seed in 0u64..20,
+    ) {
+        let plan = uniform_grid(6, 6, 1);
+        if let Some(p) = plan.perturbed(radius, seed) {
+            for (a, b) in p.topology.positions().iter().zip(plan.topology.positions()) {
+                let d = a.dist(*b);
+                // Per-axis bound radius ⇒ Euclidean bound radius·√2.
+                prop_assert!(d <= radius * std::f64::consts::SQRT_2 + 1e-9, "moved {d}");
+            }
+            prop_assert_eq!(p.attacker_pairs, plan.attacker_pairs);
+        }
+    }
+
+    #[test]
+    fn probe_outcome_ratio_is_consistent(sent in 0u32..100, acked_raw in 0u32..100) {
+        let acked = acked_raw.min(sent);
+        let o = ProbeOutcome { sent, acked };
+        let r = o.ack_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+        if sent > 0 {
+            prop_assert!((r - f64::from(acked) / f64::from(sent)).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for routes, links, and the disjoint-route
+//! selection used by SMR-style RREP generation and SAM's step-1 feedback.
+
+use proptest::prelude::*;
+use wormhole_sam::prelude::*;
+
+fn arb_route(pool: u32, max_len: usize) -> impl Strategy<Value = Route> {
+    proptest::sample::subsequence((0..pool).collect::<Vec<u32>>(), 2..=max_len.max(2))
+        .prop_shuffle()
+        .prop_map(|ids| Route::new(ids.into_iter().map(NodeId).collect()).expect("loop-free"))
+}
+
+proptest! {
+    #[test]
+    fn route_construction_rejects_loops(mut ids in proptest::collection::vec(0u32..20, 3..8)) {
+        // Force a duplicate.
+        let dup = ids[0];
+        ids.push(dup);
+        let result = Route::new(ids.into_iter().map(NodeId).collect());
+        prop_assert!(matches!(result, Err(RouteError::Loop(_))));
+    }
+
+    #[test]
+    fn route_links_count_equals_hops(route in arb_route(30, 10)) {
+        prop_assert_eq!(route.links().count(), route.hops());
+        prop_assert_eq!(route.nodes().len(), route.hops() + 1);
+    }
+
+    #[test]
+    fn reversal_is_involutive(route in arb_route(30, 10)) {
+        prop_assert_eq!(route.reversed().reversed(), route);
+    }
+
+    #[test]
+    fn next_and_prev_hop_are_inverse(route in arb_route(30, 10)) {
+        for w in route.nodes().windows(2) {
+            prop_assert_eq!(route.next_hop(w[0]), Some(w[1]));
+            prop_assert_eq!(route.prev_hop(w[1]), Some(w[0]));
+        }
+        prop_assert_eq!(route.next_hop(route.dst()), None);
+        prop_assert_eq!(route.prev_hop(route.src()), None);
+    }
+
+    #[test]
+    fn contains_link_matches_links_iter(route in arb_route(30, 10)) {
+        for link in route.links() {
+            prop_assert!(route.contains_link(link));
+        }
+        // A link between non-adjacent route nodes is not contained.
+        if route.hops() >= 2 {
+            let skip = Link::new(route.nodes()[0], route.nodes()[2]);
+            prop_assert!(!route.contains_link(skip) || route.nodes().windows(2).any(|w| Link::new(w[0], w[1]) == skip));
+        }
+    }
+
+    #[test]
+    fn shared_links_is_symmetric(a in arb_route(16, 8), b in arb_route(16, 8)) {
+        prop_assert_eq!(a.shared_links(&b), b.shared_links(&a));
+        prop_assert_eq!(a.link_disjoint(&b), b.link_disjoint(&a));
+        prop_assert_eq!(a.node_disjoint(&b), b.node_disjoint(&a));
+    }
+
+    #[test]
+    fn node_disjoint_implies_link_disjoint(a in arb_route(16, 8), b in arb_route(16, 8)) {
+        if a.node_disjoint(&b) && a.src() != b.src() && a.dst() != b.dst()
+            && !a.contains(b.src()) && !a.contains(b.dst())
+            && !b.contains(a.src()) && !b.contains(a.dst()) {
+            prop_assert!(a.link_disjoint(&b));
+        }
+    }
+
+    #[test]
+    fn select_disjoint_subset_properties(
+        routes in proptest::collection::vec(arb_route(20, 8), 0..12),
+        k in 0usize..6,
+    ) {
+        let picked = select_disjoint(&routes, k);
+        // Size bound.
+        prop_assert!(picked.len() <= k.min(routes.len()));
+        // Every pick is from the input.
+        for p in &picked {
+            prop_assert!(routes.contains(p));
+        }
+        // The first pick (if any) is a shortest route.
+        if let Some(first) = picked.first() {
+            let min_hops = routes.iter().map(Route::hops).min().expect("non-empty");
+            prop_assert_eq!(first.hops(), min_hops);
+        }
+        // No duplicates among picks.
+        for i in 0..picked.len() {
+            for j in (i + 1)..picked.len() {
+                prop_assert!(picked[i] != picked[j] || routes.iter().filter(|r| *r == &picked[i]).count() > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn select_disjoint_exhausts_when_k_large(routes in proptest::collection::vec(arb_route(20, 8), 1..8)) {
+        let picked = select_disjoint(&routes, routes.len() + 5);
+        prop_assert_eq!(picked.len(), routes.len());
+    }
+}

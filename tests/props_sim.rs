@@ -1,0 +1,154 @@
+//! Property-based tests for the simulator substrate: topologies, the
+//! latency model, tier ranges, and the forwarding policies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wormhole_sam::prelude::*;
+use wormhole_sam::routing::packet::{Rreq, RreqId};
+
+fn arb_positions(n: usize, side: f64) -> impl Strategy<Value = Vec<Pos>> {
+    proptest::collection::vec((0.0..side, 0.0..side), 2..=n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Pos::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn topology_neighbors_are_symmetric_and_irreflexive(
+        positions in arb_positions(40, 10.0),
+        range in 0.5f64..4.0,
+    ) {
+        let topo = Topology::new(positions, range);
+        for a in topo.nodes() {
+            prop_assert!(!topo.are_neighbors(a, a), "self-neighbour {a}");
+            for &b in topo.neighbors(a) {
+                prop_assert!(topo.are_neighbors(b, a), "{a}-{b} asymmetric");
+                prop_assert!(topo.dist(a, b) <= range + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn non_neighbors_are_out_of_range(
+        positions in arb_positions(25, 8.0),
+        range in 0.5f64..3.0,
+    ) {
+        let topo = Topology::new(positions, range);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b && !topo.are_neighbors(a, b) {
+                    prop_assert!(topo.dist(a, b) > range);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops_satisfy_triangle_property(positions in arb_positions(25, 6.0)) {
+        let topo = Topology::new(positions, 2.0);
+        let src = NodeId(0);
+        let dist = bfs_hops(&topo, src);
+        // Each reachable node's distance differs from every neighbour's by
+        // at most one.
+        for u in topo.nodes() {
+            if let Some(du) = dist[u.idx()] {
+                for &v in topo.neighbors(u) {
+                    let dv = dist[v.idx()].expect("neighbour of reachable is reachable");
+                    prop_assert!(du.abs_diff(dv) <= 1, "{u}:{du} vs {v}:{dv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_length_matches_bfs(positions in arb_positions(25, 6.0)) {
+        let topo = Topology::new(positions, 2.0);
+        let a = NodeId(0);
+        let b = NodeId::from_idx(topo.len() - 1);
+        let hops = hop_distance(&topo, a, b);
+        let path = shortest_path(&topo, a, b);
+        match (hops, path) {
+            (Some(h), Some(p)) => prop_assert_eq!(p.len() as u32, h + 1),
+            (None, None) => {}
+            (h, p) => prop_assert!(false, "inconsistent: {h:?} vs {p:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_respects_base_floor(
+        base in 1e-4f64..1e-2,
+        per_unit in 0.0f64..1e-3,
+        jitter in 0.0f64..1e-2,
+        dist in 0.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let model = LatencyModel { base_secs: base, per_unit_secs: per_unit, jitter_secs: jitter };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lat = model.sample(dist, &mut rng).as_micros() as f64 / 1e6;
+        prop_assert!(lat + 5e-7 >= base + per_unit * dist, "lat {lat} below floor");
+        prop_assert!(lat <= base + per_unit * dist + jitter + 5e-7, "lat {lat} above ceiling");
+    }
+
+    #[test]
+    fn random_topology_plans_always_validate(seed in 0u64..50) {
+        let plan = random_topology(seed);
+        prop_assert!(plan.validate().is_ok());
+        prop_assert!(plan.tunnel_span_hops(0).unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn uniform_grids_validate_across_sizes(cols in 3usize..12, rows in 2usize..8, tier in 1u8..3) {
+        let plan = uniform_grid(cols, rows, tier);
+        prop_assert!(plan.validate().is_ok());
+        prop_assert_eq!(plan.topology.len(), cols * rows + 2);
+    }
+
+    #[test]
+    fn dsr_policy_forwards_each_discovery_exactly_once(
+        seqs in proptest::collection::vec(0u32..5, 1..30),
+    ) {
+        let me = NodeId(99);
+        let mut policy = ForwardPolicy::new(ProtocolKind::Dsr);
+        let mut forwarded_per_seq = std::collections::HashMap::new();
+        for (i, seq) in seqs.iter().enumerate() {
+            let rreq = Rreq {
+                id: RreqId { src: NodeId(0), seq: *seq },
+                dst: NodeId(1),
+                path: vec![NodeId(0), NodeId(2 + (i as u32 % 3))],
+            };
+            if policy.decide(me, &rreq) == ForwardDecision::Forward {
+                *forwarded_per_seq.entry(*seq).or_insert(0u32) += 1;
+            }
+        }
+        for (&seq, &count) in &forwarded_per_seq {
+            prop_assert_eq!(count, 1, "seq {} forwarded {} times", seq, count);
+        }
+    }
+
+    #[test]
+    fn mr_never_forwards_longer_than_first(
+        hop_counts in proptest::collection::vec(1usize..6, 2..20),
+    ) {
+        let me = NodeId(99);
+        let mut policy = ForwardPolicy::new(ProtocolKind::Mr);
+        let first = hop_counts[0];
+        for (i, &h) in hop_counts.iter().enumerate() {
+            // Build a path of h+1 distinct nodes (hop count h), varying by i.
+            let path: Vec<NodeId> = (0..=h).map(|k| NodeId((i * 10 + k) as u32)).collect();
+            let rreq = Rreq {
+                id: RreqId { src: NodeId(500), seq: 1 },
+                dst: NodeId(501),
+                path,
+            };
+            let d = policy.decide(me, &rreq);
+            if h > first {
+                prop_assert_eq!(d, ForwardDecision::Drop, "hop {} > first {} forwarded", h, first);
+            }
+        }
+    }
+
+    #[test]
+    fn tier_range_monotone_in_tier(k in 1u8..5) {
+        prop_assert!(range_for_tier(k + 1) > range_for_tier(k));
+    }
+}

@@ -1,0 +1,145 @@
+//! Robustness: nodes must shrug off stray, malformed, or misdirected
+//! messages without panicking, and concurrent traffic must not corrupt
+//! per-discovery state.
+
+use wormhole_sam::prelude::*;
+use wormhole_sam::routing::packet::RerrPkt;
+use wormhole_sam::sim::engine::Network;
+use wormhole_sam::sim::event::Channel;
+
+fn grid_net(seed: u64) -> (NetworkPlan, Network<RoutingMsg>, Vec<RouterNode>) {
+    let plan = uniform_grid(5, 5, 1);
+    let net = Network::new(plan.topology.clone(), LatencyModel::default(), seed);
+    let nodes: Vec<RouterNode> = plan
+        .topology
+        .nodes()
+        .map(|id| RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr)))
+        .collect();
+    (plan, net, nodes)
+}
+
+fn route(ids: &[u32]) -> Route {
+    Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+}
+
+#[test]
+fn stray_messages_do_not_panic_or_loop() {
+    let (_plan, mut net, mut nodes) = grid_net(1);
+    let stray = vec![
+        // RREP for a route the receiver is not on.
+        RoutingMsg::Rrep(Rrep {
+            id: RreqId {
+                src: NodeId(20),
+                seq: 9,
+            },
+            route: route(&[20, 21, 22]),
+        }),
+        // Data whose route does not include the receiver.
+        RoutingMsg::Data(DataPkt {
+            route: route(&[20, 21, 22]),
+            seq: 1,
+        }),
+        // ACK addressed elsewhere.
+        RoutingMsg::Ack(AckPkt {
+            route: route(&[22, 21, 20]),
+            seq: 1,
+        }),
+        // RERR for somebody else's route.
+        RoutingMsg::Rerr(RerrPkt {
+            route: route(&[20, 21, 22]),
+            broken_from: NodeId(21),
+            broken_to: NodeId(22),
+        }),
+        // Data where the receiver IS the penultimate hop but the next hop
+        // is unreachable radio-wise.
+        RoutingMsg::Data(DataPkt {
+            route: route(&[0, 12, 24]),
+            seq: 2,
+        }),
+    ];
+    for (i, msg) in stray.into_iter().enumerate() {
+        net.inject(
+            SimDuration::from_micros(i as u64),
+            NodeId(12),
+            NodeId(7),
+            Channel::Unicast,
+            msg,
+        );
+    }
+    let stats = net.run(&mut nodes, SimTime::MAX);
+    assert!(!stats.truncated);
+    // The run terminates quickly: stray traffic must not self-amplify.
+    assert!(stats.events_processed < 50, "{} events", stats.events_processed);
+}
+
+#[test]
+fn timer_with_unknown_key_is_ignored() {
+    let (_plan, mut net, mut nodes) = grid_net(2);
+    net.schedule_timer(NodeId(3), SimDuration::ZERO, 0xDEAD);
+    let stats = net.run(&mut nodes, SimTime::MAX);
+    assert_eq!(stats.events_processed, 1);
+}
+
+#[test]
+fn concurrent_discoveries_from_different_sources_stay_separate() {
+    let plan = uniform_grid(6, 6, 1);
+    let mut session = Session::new(&plan, LatencyModel::default(), 7, |id| {
+        RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr))
+    });
+    // Two discoveries back to back over the same network: different
+    // sources, different destinations.
+    let s1 = plan.src_pool[0];
+    let d1 = plan.dst_pool[0];
+    let s2 = plan.src_pool[4];
+    let d2 = plan.dst_pool[4];
+    let out1 = session.discover(s1, d1, DEFAULT_MAX_WAIT);
+    let out2 = session.discover(s2, d2, DEFAULT_MAX_WAIT);
+    assert!(!out1.routes.is_empty() && !out2.routes.is_empty());
+    for r in &out1.routes {
+        assert_eq!((r.src(), r.dst()), (s1, d1));
+    }
+    for r in &out2.routes {
+        assert_eq!((r.src(), r.dst()), (s2, d2));
+    }
+    // Ids differ; destination state kept both finalized sets apart.
+    assert_ne!(out1.id, out2.id);
+}
+
+#[test]
+fn repeat_discoveries_same_pair_get_fresh_ids_and_routes() {
+    let plan = uniform_grid(6, 6, 1);
+    let mut session = Session::new(&plan, LatencyModel::default(), 8, |id| {
+        RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr))
+    });
+    let src = plan.src_pool[1];
+    let dst = plan.dst_pool[1];
+    let a = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    let b = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    assert_ne!(a.id.seq, b.id.seq);
+    assert!(!a.routes.is_empty() && !b.routes.is_empty());
+    // Second discovery's route set is independently collected (jitter
+    // differs as the RNG stream advanced).
+    let dst_router = session.node(dst);
+    assert_eq!(dst_router.router().finalized().len(), 2);
+}
+
+#[test]
+fn isolated_nodes_are_inert() {
+    let plan = uniform_grid(6, 6, 1);
+    let middle = grid_node(6, 2, 2);
+    let wiring = AttackWiring::none().with_isolated(middle);
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(ProtocolKind::Mr),
+        &wiring,
+        LatencyModel::default(),
+        9,
+    );
+    let out = session.discover(plan.src_pool[2], plan.dst_pool[2], DEFAULT_MAX_WAIT);
+    assert!(!out.routes.is_empty());
+    for r in &out.routes {
+        assert!(!r.contains(middle), "isolated node on route {r}");
+    }
+    assert!(session.node(middle).is_isolated());
+    assert!(!session.node(middle).is_attacker());
+}

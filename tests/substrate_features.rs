@@ -1,0 +1,171 @@
+//! Integration tests for the supporting substrate features: event
+//! tracing, mobility perturbation, the route cache, and heterogeneous
+//! node speeds.
+
+use wormhole_sam::prelude::*;
+use wormhole_sam::routing::packet::RoutingMsg;
+use wormhole_sam::sim::engine::Network;
+
+#[test]
+fn trace_records_the_flood_wavefront() {
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    let mut net: Network<RoutingMsg> = Network::new(
+        plan.topology.clone(),
+        LatencyModel::deterministic(1e-3),
+        1,
+    );
+    net.enable_trace(100_000);
+    let mut nodes: Vec<RouterNode> = plan
+        .topology
+        .nodes()
+        .map(|id| RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr)))
+        .collect();
+    nodes[src.idx()].queue_discovery(dst);
+    net.schedule_timer(src, SimDuration::ZERO, timer::START_DISCOVERY);
+    net.run(&mut nodes, SimTime::MAX);
+
+    let trace = net.trace().expect("tracing enabled");
+    assert!(trace.entries().len() > 50, "flood should generate traffic");
+    assert_eq!(trace.tunnel_deliveries(), 0, "no attackers wired");
+
+    // With deterministic latency the first-delivery times are exactly
+    // hop-distance milliseconds.
+    let d = bfs_hops(&plan.topology, src);
+    for node in [dst, plan.src_pool[3], plan.dst_pool[5]] {
+        let first = trace
+            .first_delivery_at(node)
+            .expect("every node hears the flood");
+        let hops = d[node.idx()].expect("connected") as u64;
+        assert_eq!(
+            first.as_micros(),
+            hops * 1_000,
+            "wavefront at {node} off: {first:?} vs {hops} hops"
+        );
+    }
+}
+
+#[test]
+fn trace_counts_tunnel_activity_under_attack() {
+    let plan = two_cluster(1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    let wiring = AttackWiring::all_pairs(&plan, WormholeConfig::default());
+    let mut net: Network<RoutingMsg> =
+        Network::new(plan.topology.clone(), LatencyModel::default(), 2);
+    net.enable_trace(200_000);
+    let mut nodes: Vec<AttackNode> = plan
+        .topology
+        .nodes()
+        .map(|id| wiring.build(RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr))))
+        .collect();
+    nodes[src.idx()].router_mut().queue_discovery(dst);
+    net.schedule_timer(src, SimDuration::ZERO, timer::START_DISCOVERY);
+    net.run(&mut nodes, SimTime::MAX);
+    let trace = net.take_trace().expect("tracing enabled");
+    assert!(
+        trace.tunnel_deliveries() > 0,
+        "the wormhole should have fired"
+    );
+}
+
+#[test]
+fn mobility_drift_keeps_sam_working_at_small_radii() {
+    let base = two_cluster(1);
+    let drifted = base.perturbed(0.1, 7).expect("small drift stays connected");
+    let src = drifted.src_pool[1];
+    let dst = drifted.dst_pool[1];
+    let out = run_wormholed_discovery(
+        &drifted,
+        ProtocolKind::Mr,
+        WormholeConfig::default(),
+        src,
+        dst,
+        3,
+    );
+    assert!(!out.routes.is_empty());
+    let frac = affected_fraction(&out.routes, drifted.attacker_pairs[0]);
+    assert!(frac > 0.8, "drifted cluster capture {frac}");
+}
+
+#[test]
+fn route_cache_feeds_probing_between_discoveries() {
+    // A source caches the routes it got via RREP, then probes from cache
+    // without a new discovery; an isolation notice invalidates the
+    // attacker's routes.
+    let plan = two_cluster(1);
+    let src = plan.src_pool[2];
+    let dst = plan.dst_pool[2];
+    let wiring = AttackWiring::all_pairs(&plan, WormholeConfig::default());
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(ProtocolKind::Mr),
+        &wiring,
+        LatencyModel::default(),
+        11,
+    );
+    let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    assert!(!out.source_routes.is_empty());
+
+    let now = session.network().now();
+    let mut cache = RouteCache::new(16, SimDuration::from_millis(60_000));
+    for r in &out.source_routes {
+        cache.insert(r.clone(), now);
+    }
+    let cached = cache.lookup(dst, now).expect("route cached").clone();
+    let probe = session.probe(
+        &cached,
+        3,
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(500),
+    );
+    assert_eq!(probe.acked, 3, "cached route works (pure relay wormhole)");
+
+    // The IDS isolates the attacker pair: every cached route through
+    // either endpoint is dropped.
+    let pair = plan.attacker_pairs[0];
+    cache.invalidate_node(pair.a);
+    cache.invalidate_node(pair.b);
+    // In the fully captured cluster nothing survives.
+    assert!(
+        cache.lookup(dst, now).is_none(),
+        "all cached routes crossed the wormhole"
+    );
+}
+
+#[test]
+fn latency_scale_speeds_up_first_arrival() {
+    // Same topology, same seed: a sped-up source floods faster.
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+
+    let first_arrival = |scale: f64| -> u64 {
+        let mut net: Network<RoutingMsg> =
+            Network::new(plan.topology.clone(), LatencyModel::deterministic(1e-3), 5);
+        net.enable_trace(100_000);
+        let mut nodes: Vec<RouterNode> = plan
+            .topology
+            .nodes()
+            .map(|id| {
+                let mut r = RouterNode::new(id, RouterConfig::new(ProtocolKind::Mr));
+                r.set_latency_scale(scale);
+                r
+            })
+            .collect();
+        nodes[src.idx()].queue_discovery(dst);
+        net.schedule_timer(src, SimDuration::ZERO, timer::START_DISCOVERY);
+        net.run(&mut nodes, SimTime::MAX);
+        net.trace()
+            .unwrap()
+            .first_delivery_at(dst)
+            .expect("reached")
+            .as_micros()
+    };
+
+    let slow = first_arrival(1.0);
+    let fast = first_arrival(0.25);
+    assert!(fast < slow, "fast {fast} vs slow {slow}");
+    assert_eq!(fast, slow / 4, "deterministic latencies scale exactly");
+}
