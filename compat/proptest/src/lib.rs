@@ -1,0 +1,378 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Covers the strategy combinators the test suite calls — ranges, tuples,
+//! [`collection::vec`], [`sample::subsequence`], `prop_map`,
+//! `prop_shuffle`, [`arbitrary::any`] — and the [`proptest!`] macro.
+//! Each test runs a fixed number of deterministic seeded cases; on
+//! failure the panic message includes the case index so the exact inputs
+//! are reproducible. There is **no shrinking**: a failing case reports
+//! its generated values as-is (via `prop_assert*` messages), which has
+//! proven enough for these invariant-style properties.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Core strategy trait and combinators.
+
+    use rand::{Rng, SeedableRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG driving generation (the workspace's seeded StdRng).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Deterministic per-case RNG used by the [`crate::proptest!`] macro
+    /// expansion.
+    pub fn fresh_rng(case: u64) -> TestRng {
+        TestRng::seed_from_u64(0x5A4D_0001_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Randomly permute generated collections.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+            Self::Value: Shuffleable,
+        {
+            Shuffle(self)
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Collections that can be permuted in place.
+    pub trait Shuffleable {
+        /// Fisher–Yates permutation.
+        fn shuffle(&mut self, rng: &mut TestRng);
+    }
+
+    impl<T> Shuffleable for Vec<T> {
+        fn shuffle(&mut self, rng: &mut TestRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// [`Strategy::prop_shuffle`] adapter.
+    pub struct Shuffle<S>(S);
+
+    impl<S: Strategy> Strategy for Shuffle<S>
+    where
+        S::Value: Shuffleable,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let mut v = self.0.generate(rng);
+            v.shuffle(rng);
+            v
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// An inclusive size band for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Smallest allowed size.
+        pub min: usize,
+        /// Largest allowed size.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            SizeRange { min, max }
+        }
+    }
+
+    impl SizeRange {
+        /// Draw a size from the band.
+        pub fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over concrete collections.
+
+    use super::strategy::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy choosing an order-preserving subsequence of fixed source
+    /// items.
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Generate order-preserving subsequences of `items` with lengths in
+    /// `size` (capped at `items.len()`).
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.items.len();
+            let max = self.size.max.min(n);
+            let min = self.size.min.min(max);
+            let k = rng.random_range(min..=max);
+            // Partial Fisher–Yates over the index set, then re-sort to
+            // preserve source order.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..n);
+                idx.swap(i, j);
+            }
+            let mut chosen: Vec<usize> = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the tests draw wholesale.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface tests use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running a fixed number of seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                const __CASES: u64 = 64;
+                for __case in 0..__CASES {
+                    let mut __rng = $crate::strategy::fresh_rng(__case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __run = move || { $body };
+                    if let Err(__panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    ) {
+                        ::std::eprintln!(
+                            "proptest case {__case}/{__CASES} of {} failed",
+                            ::std::stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert within a property body (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::fresh_rng;
+
+    #[test]
+    fn subsequence_preserves_order_and_uniqueness() {
+        let strat = crate::sample::subsequence((0..50u32).collect::<Vec<_>>(), 2..=10);
+        let mut rng = fresh_rng(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 10);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "not ordered: {s:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_in_bounds(x in 0u32..10, f in 0.0..1.0, v in crate::collection::vec(0usize..5, 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert_eq!(v.iter().filter(|&&e| e >= 5).count(), 0);
+        }
+
+        #[test]
+        fn shuffle_permutes(mut v in crate::collection::vec(0u32..100, 5..8).prop_shuffle()) {
+            v.sort_unstable();
+            prop_assert!(v.len() >= 5);
+        }
+    }
+}

@@ -6,9 +6,7 @@
 //! runs; legitimate nodes pay only an enum-dispatch on each event.
 
 use crate::wormhole::{WormholeConfig, WormholeMode};
-use manet_routing::{
-    Route, RoutingMsg, Rrep, RouterAccess, RouterNode, RreqAction,
-};
+use manet_routing::{Route, RouterAccess, RouterNode, RoutingMsg, Rrep, RreqAction};
 use manet_sim::{Behavior, Channel, Ctx, NodeId, SimDuration};
 use std::collections::HashSet;
 
@@ -159,11 +157,7 @@ impl AttackNode {
         }
     }
 
-    fn handle_as_fabricator(
-        &mut self,
-        ctx: &mut Ctx<'_, RoutingMsg>,
-        msg: RoutingMsg,
-    ) {
+    fn handle_as_fabricator(&mut self, ctx: &mut Ctx<'_, RoutingMsg>, msg: RoutingMsg) {
         let Role::Fabricator { seen, stats } = &mut self.role else {
             unreachable!("caller checked role");
         };
@@ -188,13 +182,7 @@ impl AttackNode {
                 nodes.push(rreq.dst);
                 if let Ok(route) = Route::new(nodes) {
                     stats.rreps_fabricated += 1;
-                    ctx.unicast(
-                        prev,
-                        RoutingMsg::Rrep(Rrep {
-                            id: rreq.id,
-                            route,
-                        }),
-                    );
+                    ctx.unicast(prev, RoutingMsg::Rrep(Rrep { id: rreq.id, route }));
                 }
             }
             // The blackhole part: attracted data (and its ACKs) die here.
@@ -464,10 +452,7 @@ mod tests {
         let pair = plan.attacker_pairs[0];
         let node = wiring.build(RouterNode::new(pair.a, RouterConfig::new(ProtocolKind::Mr)));
         assert!(node.is_attacker());
-        assert_eq!(
-            node.router().out_of_band().map(|(p, _)| p),
-            Some(pair.b)
-        );
+        assert_eq!(node.router().out_of_band().map(|(p, _)| p), Some(pair.b));
     }
 
     #[test]

@@ -97,16 +97,16 @@ mod tests {
         let pair = plan.attacker_pairs[0];
         let src = plan.src_pool[2];
         let dst = plan.dst_pool[2];
-        let normal = run_attacked_discovery(
+        let normal =
+            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, 1);
+        let attacked = run_wormholed_discovery(
             &plan,
             ProtocolKind::Mr,
-            &AttackWiring::none(),
+            WormholeConfig::default(),
             src,
             dst,
             1,
         );
-        let attacked =
-            run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 1);
         assert_eq!(affected_fraction(&normal.routes, pair), 0.0);
         let frac = affected_fraction(&attacked.routes, pair);
         assert!(frac > 0.0, "no attacked routes at all");
@@ -125,8 +125,14 @@ mod tests {
         let pair = plan.attacker_pairs[0];
         let src = plan.src_pool[5];
         let dst = plan.dst_pool[10];
-        let out =
-            run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 2);
+        let out = run_wormholed_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            WormholeConfig::default(),
+            src,
+            dst,
+            2,
+        );
         assert!(!out.routes.is_empty());
         let frac = affected_fraction(&out.routes, pair);
         assert!(

@@ -20,7 +20,7 @@
 //!   near the other. SAM's statistics still fire; the suspect link then
 //!   names the attackers' neighbourhoods rather than the attackers.
 
-use manet_sim::{SimDuration};
+use manet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// How the wormhole endpoints present themselves to the network.

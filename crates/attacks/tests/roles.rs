@@ -31,7 +31,10 @@ fn rusher_wins_the_first_copy_race() {
         let (_, mut session) = grid_session(wiring, seed);
         let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
         let hit = out.routes.iter().filter(|r| r.contains(rusher)).count();
-        (hit as f64 / out.routes.len().max(1) as f64, out.routes.len())
+        (
+            hit as f64 / out.routes.len().max(1) as f64,
+            out.routes.len(),
+        )
     };
 
     let mut honest_sum = 0.0;
@@ -49,10 +52,16 @@ fn rusher_wins_the_first_copy_race() {
 #[test]
 fn rusher_is_reported_as_attacker() {
     let wiring = AttackWiring::none().with_rusher(NodeId(5), 0.2);
-    let node = wiring.build(RouterNode::new(NodeId(5), RouterConfig::new(ProtocolKind::Mr)));
+    let node = wiring.build(RouterNode::new(
+        NodeId(5),
+        RouterConfig::new(ProtocolKind::Mr),
+    ));
     assert!(node.is_attacker());
     assert_eq!(node.router().latency_scale(), 0.2);
-    let legit = wiring.build(RouterNode::new(NodeId(6), RouterConfig::new(ProtocolKind::Mr)));
+    let legit = wiring.build(RouterNode::new(
+        NodeId(6),
+        RouterConfig::new(ProtocolKind::Mr),
+    ));
     assert!(!legit.is_attacker());
 }
 
@@ -91,7 +100,11 @@ fn fabricator_poisons_the_source_with_a_fake_route() {
         out.source_routes
     );
     let fake_route = fake[0].clone();
-    assert_eq!(fake_route.prev_hop(dst), Some(fab), "fab claims to neighbour dst");
+    assert_eq!(
+        fake_route.prev_hop(dst),
+        Some(fab),
+        "fab claims to neighbour dst"
+    );
 
     // SAM's step-2 probe test exposes it: data down the fake route never
     // arrives (the fabricator drops it; the fake hop doesn't exist).
@@ -161,7 +174,10 @@ fn mr_destination_routes_are_immune_to_fabrication() {
         for r in &out.routes {
             assert!(!r.contains(fab), "seed {seed}: fabricated node on {r}");
             for w in r.nodes().windows(2) {
-                assert!(plan.topology.are_neighbors(w[0], w[1]), "fake hop in collected set");
+                assert!(
+                    plan.topology.are_neighbors(w[0], w[1]),
+                    "fake hop in collected set"
+                );
             }
         }
     }

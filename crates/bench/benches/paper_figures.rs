@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sam_bench::{regenerate, show, BENCH_RUNS};
-use sam_experiments::{
-    fig10, fig11, fig12, fig13, fig14, fig15, fig5, fig6, fig7, fig8, fig9,
-};
+use sam_experiments::{fig10, fig11, fig12, fig13, fig14, fig15, fig5, fig6, fig7, fig8, fig9};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -24,7 +22,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig6_pmax", |b| b.iter(|| black_box(fig6::run(BENCH_RUNS))));
 
     show(&regenerate("fig7"));
-    group.bench_function("fig7_delta", |b| b.iter(|| black_box(fig7::run(BENCH_RUNS))));
+    group.bench_function("fig7_delta", |b| {
+        b.iter(|| black_box(fig7::run(BENCH_RUNS)))
+    });
 
     show(&regenerate("fig8"));
     group.bench_function("fig8_long_uniform", |b| {
@@ -32,7 +32,9 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     show(&regenerate("fig9"));
-    group.bench_function("fig9_random_topology", |b| b.iter(|| black_box(fig9::run(0))));
+    group.bench_function("fig9_random_topology", |b| {
+        b.iter(|| black_box(fig9::run(0)))
+    });
 
     show(&regenerate("fig10"));
     group.bench_function("fig10_random", |b| {

@@ -269,10 +269,7 @@ mod tests {
         let analysis = d.analyze(&attacked_set(), &profile);
         assert!(analysis.anomalous, "{analysis:?}");
         assert!(analysis.lambda < 0.5);
-        assert_eq!(
-            analysis.suspect_link,
-            Some(Link::new(NodeId(7), NodeId(8)))
-        );
+        assert_eq!(analysis.suspect_link, Some(Link::new(NodeId(7), NodeId(8))));
     }
 
     #[test]
@@ -336,7 +333,13 @@ mod tests {
         // A "hidden wormhole" set: link frequencies look normal (all
         // distinct links) but routes are drastically shorter than the
         // trained 3-hop profile.
-        let shortened = vec![r(&[0, 1, 9]), r(&[0, 3, 9]), r(&[0, 5, 9]), r(&[0, 10, 9]), r(&[0, 12, 9])];
+        let shortened = vec![
+            r(&[0, 1, 9]),
+            r(&[0, 3, 9]),
+            r(&[0, 5, 9]),
+            r(&[0, 10, 9]),
+            r(&[0, 12, 9]),
+        ];
         let profile = NormalProfile::train(&normal_sets(), 20);
         let plain = SamDetector::default();
         let plain_analysis = plain.analyze(&shortened, &profile);

@@ -9,7 +9,9 @@
 //! sets, get actions back.
 
 use crate::detector::{SamAnalysis, SamConfig, SamDetector};
-use crate::procedure::{AttackReport, DetectionOutcome, Procedure, ProcedureConfig, ProbeTransport};
+use crate::procedure::{
+    AttackReport, DetectionOutcome, ProbeTransport, Procedure, ProcedureConfig,
+};
 use crate::profile::NormalProfile;
 use manet_routing::Route;
 use manet_sim::NodeId;
@@ -241,11 +243,7 @@ mod tests {
     fn normal_set(variant: u32) -> Vec<Route> {
         // Three spread routes; `variant` perturbs one intermediate.
         let v = 10 + (variant % 3);
-        vec![
-            r(&[0, 1, 2, 9]),
-            r(&[0, 3, v, 9]),
-            r(&[0, 5, 6, 9]),
-        ]
+        vec![r(&[0, 1, 2, 9]), r(&[0, 3, v, 9]), r(&[0, 5, 6, 9])]
     }
 
     fn attacked_set() -> Vec<Route> {

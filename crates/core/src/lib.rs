@@ -71,13 +71,11 @@ pub mod prelude {
     pub use crate::collaboration::{GlobalCoordinator, LinkVerdict, NodeVerdict};
     pub use crate::detector::{SamAnalysis, SamConfig, SamDetector};
     pub use crate::hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
-    pub use crate::ids::{
-        AgentAction, AgentConfig, AgentPhase, IdsAgent, ResponseMsg,
-    };
+    pub use crate::ids::{AgentAction, AgentConfig, AgentPhase, IdsAgent, ResponseMsg};
     pub use crate::pmf::{Pmf, PmfProfile, PmfVerdict};
     pub use crate::procedure::{
-        all_ack_transport, blackhole_transport, AttackReport, DetectionOutcome, Procedure,
-        ProcedureConfig, ProbeTransport,
+        all_ack_transport, blackhole_transport, AttackReport, DetectionOutcome, ProbeTransport,
+        Procedure, ProcedureConfig,
     };
     pub use crate::profile::{forgetting_update, FeatureStat, NormalProfile, STD_FLOOR};
     pub use crate::stats::{common_endpoints, LinkStats, RouteSetFeatures};

@@ -95,11 +95,7 @@ impl Pmf {
     /// Total variation distance to another PMF with the same binning:
     /// `½ Σ |p_i − q_i|` ∈ `[0, 1]`.
     pub fn total_variation(&self, other: &Pmf) -> f64 {
-        assert_eq!(
-            self.bins.len(),
-            other.bins.len(),
-            "PMFs must share binning"
-        );
+        assert_eq!(self.bins.len(), other.bins.len(), "PMFs must share binning");
         0.5 * (0..self.bins.len())
             .map(|i| (self.mass(i) - other.mass(i)).abs())
             .sum::<f64>()
@@ -241,7 +237,10 @@ mod tests {
         let a = Pmf::from_samples(10, &[0.1, 0.1, 0.2]);
         let b = Pmf::from_samples(10, &[0.9, 0.9, 0.8]);
         assert_eq!(a.total_variation(&a), 0.0);
-        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12, "disjoint supports");
+        assert!(
+            (a.total_variation(&b) - 1.0).abs() < 1e-12,
+            "disjoint supports"
+        );
         assert!((a.total_variation(&b) - b.total_variation(&a)).abs() < 1e-12);
     }
 

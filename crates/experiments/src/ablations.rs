@@ -82,12 +82,7 @@ pub fn tunnel_length(runs: u64) -> Table {
     let mut table = Table::new(
         "ablation_tunnel_len",
         "Attack-link length vs capture and detectability (uniform grids, MR)",
-        vec![
-            "grid cols",
-            "tunnel hops",
-            "%affected",
-            "p_max separation",
-        ],
+        vec!["grid cols", "tunnel hops", "%affected", "p_max separation"],
     );
     for cols in [4usize, 6, 8, 10, 12] {
         let topology = TopologyKind::Uniform {
@@ -229,7 +224,10 @@ pub fn hidden_detection(runs: u64) -> Table {
         }
         100.0 * hits as f64 / runs as f64
     };
-    for (label, det) in [("paper (p_max, Δ)", &paper), ("with hop extension", &extended)] {
+    for (label, det) in [
+        ("paper (p_max, Δ)", &paper),
+        ("with hop extension", &extended),
+    ] {
         table.push_row(vec![
             Cell::from(label),
             Cell::Num(rate(det, &attacked, WormholeConfig::hidden())),
@@ -286,10 +284,9 @@ pub fn mobility(runs: u64) -> Table {
                 .perturbed(radius, seed)
                 .expect("cluster stays connected at these radii");
             let (src, dst) = draw_endpoints(&plan, seed);
-            for (attacked, hit, p_acc) in [
-                (false, &mut alarm, &mut p_n),
-                (true, &mut detect, &mut p_a),
-            ] {
+            for (attacked, hit, p_acc) in
+                [(false, &mut alarm, &mut p_n), (true, &mut detect, &mut p_a)]
+            {
                 let wiring = if attacked {
                     AttackWiring::all_pairs(&plan, WormholeConfig::default())
                 } else {

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--runs N] [--out DIR] [EXPERIMENT_ID ...]
+//! reproduce [--runs N] [--jobs N] [--out DIR] [EXPERIMENT_ID ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Each produces an ASCII table on
@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 struct Args {
     runs: u64,
+    jobs: usize,
     out: PathBuf,
     ids: Vec<String>,
 }
@@ -29,6 +30,7 @@ enum Parsed {
 
 fn parse_args() -> Parsed {
     let mut runs = 10u64;
+    let mut jobs = 0usize; // 0 = one worker per available core
     let mut out = PathBuf::from("results");
     let mut ids = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -43,6 +45,15 @@ fn parse_args() -> Parsed {
                     Err(_) => return Parsed::Error(format!("bad --runs value: {v}")),
                 }
             }
+            "--jobs" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--jobs needs a value".into());
+                };
+                match v.parse() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => return Parsed::Error(format!("bad --jobs value: {v} (need >= 1)")),
+                }
+            }
             "--out" => {
                 let Some(v) = it.next() else {
                     return Parsed::Error("--out needs a value".into());
@@ -54,7 +65,9 @@ fn parse_args() -> Parsed {
             }
             "--help" | "-h" => {
                 return Parsed::Info(format!(
-                    "usage: reproduce [--runs N] [--out DIR] [--list] [ID ...]\n  known ids: {}",
+                    "usage: reproduce [--runs N] [--jobs N] [--out DIR] [--list] [ID ...]\n  \
+                     --jobs N: simulation worker threads (default: available cores)\n  \
+                     known ids: {}",
                     ALL_IDS.join(", ")
                 ));
             }
@@ -64,7 +77,12 @@ fn parse_args() -> Parsed {
     if ids.is_empty() {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
-    Parsed::Run(Args { runs, out, ids })
+    Parsed::Run(Args {
+        runs,
+        jobs,
+        out,
+        ids,
+    })
 }
 
 fn main() -> ExitCode {
@@ -79,6 +97,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.jobs > 0 {
+        sam_experiments::runner::set_global_jobs(args.jobs);
+    }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
@@ -88,7 +109,10 @@ fn main() -> ExitCode {
     for id in &args.ids {
         let started = std::time::Instant::now();
         let Some(tables) = run_experiment(id, args.runs) else {
-            eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
+            eprintln!(
+                "unknown experiment id: {id} (known: {})",
+                ALL_IDS.join(", ")
+            );
             failed = true;
             continue;
         };

@@ -26,7 +26,9 @@ pub fn run(runs: u64) -> Table {
         "p_max separation {:+.3} (paper: p_max successfully detects the attack in random topologies)",
         series[0].separation(|r| r.p_max)
     ));
-    t.note("a fresh seeded random placement is drawn per run (substitution documented in DESIGN.md)");
+    t.note(
+        "a fresh seeded random placement is drawn per run (substitution documented in DESIGN.md)",
+    );
     t.note(format!(
         "Mann-Whitney p (attack vs normal): {:?}",
         series[0].separation_pvalue(|r| r.p_max)

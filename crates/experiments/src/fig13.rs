@@ -49,8 +49,7 @@ mod tests {
     fn dsr_sees_fewer_routes_than_mr() {
         let s = series(3);
         assert!(
-            s[1].attacked_mean(|r| r.n_routes as f64)
-                < s[0].attacked_mean(|r| r.n_routes as f64),
+            s[1].attacked_mean(|r| r.n_routes as f64) < s[0].attacked_mean(|r| r.n_routes as f64),
             "DSR should collect fewer routes"
         );
     }

@@ -51,8 +51,21 @@ use report::Table;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "detection", "ablations",
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "detection",
+    "ablations",
 ];
 
 /// Run one experiment by id with the given series length (`runs` is
@@ -84,8 +97,8 @@ pub fn run_experiment(id: &str, runs: u64) -> Option<Vec<Table>> {
 pub mod prelude {
     pub use crate::report::{Cell, Table};
     pub use crate::runner::{
-        build_plan, mean_of, run_once, run_once_configured, run_once_with_routes, run_series,
-        RunRecord, PAPER_RUNS,
+        build_plan, default_jobs, mean_of, run_once, run_once_configured, run_once_with_routes,
+        run_series, run_series_jobs, set_global_jobs, RunRecord, PAPER_RUNS,
     };
     pub use crate::scenario::{derive_seed, draw_endpoints, ScenarioSpec, TopologyKind};
     pub use crate::series::{feature_table, PairedSeries};

@@ -62,10 +62,8 @@ pub fn build_plan(spec: &ScenarioSpec, run: u64) -> NetworkPlan {
                 m
             }
         };
-        plan = plan.with_additional_pair(
-            Pos::new(pa.x, mirror(pa.y)),
-            Pos::new(pb.x, mirror(pb.y)),
-        );
+        plan =
+            plan.with_additional_pair(Pos::new(pa.x, mirror(pa.y)), Pos::new(pb.x, mirror(pb.y)));
         debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
     }
     plan
@@ -123,11 +121,7 @@ pub fn run_once_configured(
         // links and count success if the tunnel is among the links tied
         // for the maximum (a shared capture prefix ties the whole chain).
         let top = stats.top_links_excluding(&[src, dst]);
-        Some(
-            active_pairs
-                .iter()
-                .any(|&p| top.contains(&tunnel_link(p))),
-        )
+        Some(active_pairs.iter().any(|&p| top.contains(&tunnel_link(p))))
     };
 
     let record = RunRecord {
@@ -149,19 +143,47 @@ pub fn run_once(spec: &ScenarioSpec, run: u64) -> RunRecord {
     run_once_with_routes(spec, run).0
 }
 
+/// Process-wide override for [`run_series`]'s worker count; 0 = auto
+/// (available parallelism). Set from the `reproduce` binary's `--jobs`.
+static GLOBAL_JOBS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Set the worker-thread count every subsequent [`run_series`] call uses
+/// (`0` restores the default of one thread per available core).
+pub fn set_global_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Execute runs `0..n` in parallel (one independent simulation each) and
-/// return the records in run order.
+/// return the records in run order. Thread count comes from
+/// [`set_global_jobs`], defaulting to one per available core.
 pub fn run_series(spec: &ScenarioSpec, n: u64) -> Vec<RunRecord> {
-    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; n as usize]);
-    let threads = std::thread::available_parallelism()
+    let jobs = match GLOBAL_JOBS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    };
+    run_series_jobs(spec, n, jobs)
+}
+
+/// The default worker count for [`run_series_jobs`]: available
+/// parallelism, or 4 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(n as usize)
-        .max(1);
-    crossbeam::thread::scope(|s| {
+}
+
+/// Execute runs `0..n` on exactly `jobs` worker threads (clamped to
+/// `1..=n`) and return the records in run order.
+///
+/// Each run is an independent simulation with its own derived seed, so the
+/// records are identical whatever `jobs` is — only wall-clock changes.
+pub fn run_series_jobs(spec: &ScenarioSpec, n: u64, jobs: usize) -> Vec<RunRecord> {
+    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; n as usize]);
+    let threads = jobs.min(n as usize).max(1);
+    std::thread::scope(|s| {
         for t in 0..threads {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut run = t as u64;
                 while run < n {
                     let rec = run_once(spec, run);
@@ -170,8 +192,7 @@ pub fn run_series(spec: &ScenarioSpec, n: u64) -> Vec<RunRecord> {
                 }
             });
         }
-    })
-    .expect("run worker panicked");
+    });
     results
         .into_inner()
         .into_iter()
@@ -231,9 +252,24 @@ mod tests {
     }
 
     #[test]
+    fn series_records_are_invariant_in_job_count() {
+        let spec = ScenarioSpec::attacked(TopologyKind::uniform6x6(), ProtocolKind::Mr);
+        let one = run_series_jobs(&spec, 5, 1);
+        for jobs in [2, 8] {
+            let many = run_series_jobs(&spec, 5, jobs);
+            for (x, y) in one.iter().zip(&many) {
+                assert_eq!(x.run, y.run);
+                assert_eq!(x.p_max, y.p_max);
+                assert_eq!(x.delta, y.delta);
+                assert_eq!(x.overhead, y.overhead);
+            }
+        }
+    }
+
+    #[test]
     fn two_wormhole_plan_grows_a_mirrored_pair() {
-        let spec = ScenarioSpec::attacked(TopologyKind::uniform10x6(), ProtocolKind::Mr)
-            .with_wormholes(2);
+        let spec =
+            ScenarioSpec::attacked(TopologyKind::uniform10x6(), ProtocolKind::Mr).with_wormholes(2);
         let plan = build_plan(&spec, 0);
         assert_eq!(plan.attacker_pairs.len(), 2);
         plan.validate().unwrap();

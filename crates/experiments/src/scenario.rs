@@ -187,7 +187,10 @@ mod tests {
         assert!(plan.src_pool.contains(&s1));
         assert!(plan.dst_pool.contains(&d1));
         let (s3, d3) = draw_endpoints(&plan, 8);
-        assert!(s3 != s1 || d3 != d1, "different run, different draw (w.h.p.)");
+        assert!(
+            s3 != s1 || d3 != d1,
+            "different run, different draw (w.h.p.)"
+        );
     }
 
     #[test]

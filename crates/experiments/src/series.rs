@@ -37,11 +37,7 @@ impl PairedSeries {
     }
 
     /// Like [`PairedSeries::collect`] with one wormhole.
-    pub fn collect_one_wormhole(
-        topology: TopologyKind,
-        protocol: ProtocolKind,
-        runs: u64,
-    ) -> Self {
+    pub fn collect_one_wormhole(topology: TopologyKind, protocol: ProtocolKind, runs: u64) -> Self {
         Self::collect(topology, protocol, 1, runs)
     }
 

@@ -57,7 +57,9 @@ pub fn run(runs: u64) -> Table {
     );
     table.push_row(avg);
     table.note("paper: all routes affected in the cluster topology for both protocols");
-    table.note("paper: MR may perform better than DSR in the uniform topology, but remains vulnerable");
+    table.note(
+        "paper: MR may perform better than DSR in the uniform topology, but remains vulnerable",
+    );
     table
 }
 

@@ -105,7 +105,12 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
     /// time) until the network quiesces or `max_wait` passes. Overhead
     /// counters are reset at the start so the outcome reports this
     /// discovery alone.
-    pub fn discover(&mut self, src: NodeId, dst: NodeId, max_wait: SimDuration) -> DiscoveryOutcome {
+    pub fn discover(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        max_wait: SimDuration,
+    ) -> DiscoveryOutcome {
         self.net.reset_metrics();
         let id = self.nodes[src.idx()].router_mut().queue_discovery(dst);
         self.net
@@ -156,10 +161,7 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
         let acked = (first..first + count)
             .filter(|&s| router.was_acked(s))
             .count() as u32;
-        ProbeOutcome {
-            sent: count,
-            acked,
-        }
+        ProbeOutcome { sent: count, acked }
     }
 }
 
@@ -199,10 +201,7 @@ mod tests {
     use manet_sim::prelude::*;
 
     fn line_plan(n: usize) -> NetworkPlan {
-        let topo = Topology::new(
-            (0..n).map(|i| Pos::new(i as f64, 0.0)).collect(),
-            1.1,
-        );
+        let topo = Topology::new((0..n).map(|i| Pos::new(i as f64, 0.0)).collect(), 1.1);
         NetworkPlan {
             name: "line".into(),
             topology: topo,

@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::node::{
         timer, DataAction, RouterAccess, RouterConfig, RouterNode, RouterStats, RreqAction,
     };
-    pub use crate::packet::{AckPkt, DataPkt, RerrPkt, Rrep, Rreq, RreqId, RoutingMsg};
+    pub use crate::packet::{AckPkt, DataPkt, RerrPkt, RoutingMsg, Rrep, Rreq, RreqId};
     pub use crate::policy::{DestinationAccept, ForwardDecision, ForwardPolicy, ProtocolKind};
     pub use crate::route::{select_disjoint, Route, RouteError};
 }

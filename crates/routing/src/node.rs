@@ -12,7 +12,7 @@
 //! normal logic and react to it — e.g. tunnel every RREQ copy the node
 //! forwards — without duplicating protocol code.
 
-use crate::packet::{AckPkt, DataPkt, RerrPkt, Rrep, Rreq, RreqId, RoutingMsg};
+use crate::packet::{AckPkt, DataPkt, RerrPkt, RoutingMsg, Rrep, Rreq, RreqId};
 use crate::policy::{DestinationAccept, ForwardDecision, ForwardPolicy, ProtocolKind};
 use crate::route::{select_disjoint, Route};
 use manet_sim::{Behavior, Channel, Ctx, Link, NodeId, SimDuration};
@@ -349,7 +349,8 @@ impl RouterNode {
             // directly).
             if data.route.src() == self.id {
                 self.broken_links.push(Link::new(self.id, next));
-                self.source_routes.retain(|r| !r.contains_link(Link::new(self.id, next)));
+                self.source_routes
+                    .retain(|r| !r.contains_link(Link::new(self.id, next)));
             } else {
                 let rerr = RerrPkt {
                     route: data.route.clone(),

@@ -268,7 +268,8 @@ mod tests {
         assert_eq!(p.decide(ME, &rreq(1, &[0, 1, 2])), ForwardDecision::Forward); // first: 2 hops
         assert_eq!(p.decide(ME, &rreq(1, &[0, 3])), ForwardDecision::Forward); // 1 hop ≤ 2
         assert_eq!(p.decide(ME, &rreq(1, &[0, 4, 5])), ForwardDecision::Forward); // 2 hops ≤ 2
-        assert_eq!(p.decide(ME, &rreq(1, &[0, 4, 5, 6])), ForwardDecision::Drop); // 3 hops > 2
+        assert_eq!(p.decide(ME, &rreq(1, &[0, 4, 5, 6])), ForwardDecision::Drop);
+        // 3 hops > 2
     }
 
     #[test]
@@ -319,7 +320,10 @@ mod tests {
     fn aomdv_destination_accepts_one_per_last_hop() {
         let mut d = DestinationAccept::default();
         assert!(d.accept(ProtocolKind::Aomdv, &rreq(1, &[0, 1, 5])));
-        assert!(!d.accept(ProtocolKind::Aomdv, &rreq(1, &[0, 2, 5])), "same last hop");
+        assert!(
+            !d.accept(ProtocolKind::Aomdv, &rreq(1, &[0, 2, 5])),
+            "same last hop"
+        );
         assert!(d.accept(ProtocolKind::Aomdv, &rreq(1, &[0, 2, 6])));
         // MR accepts everything.
         assert!(d.accept(ProtocolKind::Mr, &rreq(1, &[0, 2, 5])));

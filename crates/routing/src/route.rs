@@ -265,7 +265,10 @@ mod tests {
         ];
         let picked = select_disjoint(&routes, 2);
         assert_eq!(picked[0], routes[1]);
-        assert_eq!(picked[1], routes[2], "disjoint route preferred over overlapping one");
+        assert_eq!(
+            picked[1], routes[2],
+            "disjoint route preferred over overlapping one"
+        );
     }
 
     #[test]

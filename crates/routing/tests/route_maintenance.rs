@@ -83,7 +83,12 @@ fn rerr_purges_matching_source_routes() {
     let far = plan
         .topology
         .nodes()
-        .find(|&n| n != src && n != second && !plan.topology.are_neighbors(second, n) && !real.nodes().contains(&n))
+        .find(|&n| {
+            n != src
+                && n != second
+                && !plan.topology.are_neighbors(second, n)
+                && !real.nodes().contains(&n)
+        })
         .expect("ladder has non-neighbours");
     let stale = Route::new(vec![src, second, far, dst]);
     let Ok(stale) = stale else {

@@ -1,0 +1,352 @@
+//! Load generator for the SAM detection service.
+//!
+//! Replays simulated route-discovery traffic (drawn from the
+//! `sam-experiments` scenario catalogue, normal and attacked mixed) through
+//! a [`DetectionService`] and prints a throughput/latency report.
+//!
+//! ```text
+//! loadgen [--requests N] [--workers N] [--batch N] [--queue N]
+//!         [--attacked-pct P] [--json PATH]
+//! ```
+//!
+//! With `--json PATH` the final [`MetricsReport`] (plus verdict counts) is
+//! written as JSON — CI uses this to track serving throughput over time
+//! (`BENCH_serve.json`).
+
+use manet_routing::{ProtocolKind, Route};
+use sam::NormalProfile;
+use sam_experiments::prelude::{derive_seed, ScenarioSpec, TopologyKind};
+use sam_experiments::runner::run_once_with_routes;
+use sam_serve::prelude::*;
+use sam_serve::service::ProfileSource;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Offset separating profile-training runs from serving traffic (matches
+/// the convention in `sam-experiments::detection`).
+const TRAIN_OFFSET: u64 = 1000;
+/// Training route sets per profile.
+const TRAIN_RUNS: u64 = 8;
+/// Distinct replayed route sets per scenario (requests cycle over them).
+const REPLAY_SETS: u64 = 16;
+
+struct Args {
+    requests: u64,
+    workers: usize,
+    batch: usize,
+    queue: usize,
+    attacked_pct: u32,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            requests: 10_000,
+            workers: ServiceConfig::default().workers,
+            batch: 32,
+            queue: 256,
+            attacked_pct: 30,
+            json: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--attacked-pct" => {
+                args.attacked_pct = value("--attacked-pct")?
+                    .parse()
+                    .map_err(|e| format!("--attacked-pct: {e}"))?;
+                if args.attacked_pct > 100 {
+                    return Err("--attacked-pct must be 0..=100".into());
+                }
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!(
+                    "loadgen: replay simulated route discoveries through sam-serve\n\n\
+                     options:\n  \
+                     --requests N      total requests to submit (default 10000)\n  \
+                     --workers N       service worker threads (default: cores)\n  \
+                     --batch N         max requests drained per worker wake (default 32)\n  \
+                     --queue N         per-shard queue capacity (default 256)\n  \
+                     --attacked-pct P  percent of traffic from attacked scenarios (default 30)\n  \
+                     --json PATH       write the metrics report as JSON"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.workers == 0 || args.batch == 0 || args.queue == 0 {
+        return Err("--workers, --batch, and --queue must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// The deployments loadgen replays traffic from.
+fn catalogue() -> Vec<(ProfileKey, ScenarioSpec, ScenarioSpec)> {
+    [
+        TopologyKind::uniform6x6(),
+        TopologyKind::cluster1(),
+        TopologyKind::uniform10x6(),
+    ]
+    .into_iter()
+    .map(|topo| {
+        let normal = ScenarioSpec::normal(topo, ProtocolKind::Mr);
+        let attacked = ScenarioSpec::attacked(topo, ProtocolKind::Mr);
+        let key = ProfileKey::new(format!("{:?}", normal.topology), "mr");
+        (key, normal, attacked)
+    })
+    .collect()
+}
+
+/// Train profiles the way the experiments crate does: route sets from
+/// normal runs at seeds far from the serving traffic's.
+fn profile_source() -> ProfileSource {
+    let specs: Vec<(ProfileKey, ScenarioSpec)> = catalogue()
+        .into_iter()
+        .map(|(key, normal, _)| (key, normal))
+        .collect();
+    Arc::new(move |key: &ProfileKey| {
+        let spec = specs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("no scenario for profile key {key}"));
+        let sets: Vec<Vec<Route>> = (0..TRAIN_RUNS)
+            .map(|r| run_once_with_routes(spec, TRAIN_OFFSET + r).1)
+            .collect();
+        NormalProfile::train(&sets, 20)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Pre-simulate the replay corpus so the measured section exercises
+    // the service, not the simulator.
+    eprintln!("loadgen: simulating replay corpus ...");
+    let corpus: Vec<(ProfileKey, bool, Vec<Route>)> = catalogue()
+        .iter()
+        .flat_map(|(key, normal, attacked)| {
+            (0..REPLAY_SETS).map(move |r| {
+                // Interleave normal/attacked per the requested mix with a
+                // deterministic Bresenham pattern (no RNG: replay is
+                // reproducible).
+                let pct = args.attacked_pct as u64;
+                let attacked_slot = (r + 1) * pct / 100 > r * pct / 100;
+                let spec = if attacked_slot { attacked } else { normal };
+                let (_, routes) = run_once_with_routes(spec, derive_seed(r, 7) % 500);
+                (key.clone(), attacked_slot, routes)
+            })
+        })
+        .collect();
+
+    let cfg = ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        max_batch: args.batch,
+        // Calibrated like the detection experiment: at ~10-run training
+        // scale the 3σ library default under-fires on held-out traffic.
+        detector: sam::SamConfig {
+            z_threshold: 2.5,
+            ..sam::SamConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    eprintln!(
+        "loadgen: starting service ({} workers, queue {}, batch {})",
+        cfg.workers, cfg.queue_capacity, cfg.max_batch
+    );
+    let service = DetectionService::start(cfg, profile_source());
+
+    // Warm the profile cache outside the measured window (training is a
+    // one-time cost per deployment, not a serving cost).
+    for (key, _, routes) in corpus.iter().take(catalogue().len() * REPLAY_SETS as usize) {
+        let _ = service
+            .submit(DetectionRequest {
+                id: u64::MAX,
+                key: key.clone(),
+                routes: routes.clone(),
+                probe_ack_ratio: None,
+            })
+            .map(Pending::wait);
+    }
+
+    eprintln!("loadgen: replaying {} requests ...", args.requests);
+    let start = Instant::now();
+    let mut pending: Vec<Pending> = Vec::with_capacity(1024);
+    let mut shed = 0u64;
+    let mut completed = 0u64;
+    let mut confirmed = 0u64;
+    let mut responded_ids = 0u64;
+
+    let drain = |pending: &mut Vec<Pending>,
+                 completed: &mut u64,
+                 confirmed: &mut u64,
+                 responded_ids: &mut u64| {
+        for p in pending.drain(..) {
+            let resp = p.wait();
+            *completed += 1;
+            *responded_ids ^= resp.id;
+            if resp.verdict.confirmed {
+                *confirmed += 1;
+            }
+        }
+    };
+
+    let mut submitted_ids = 0u64;
+    for i in 0..args.requests {
+        let (key, attacked, routes) = &corpus[(i % corpus.len() as u64) as usize];
+        let req = DetectionRequest {
+            id: i,
+            key: key.clone(),
+            routes: routes.clone(),
+            // Attacked traffic fails its probe test; normal traffic acks.
+            probe_ack_ratio: if *attacked { Some(0.1) } else { None },
+        };
+        let mut retried = false;
+        loop {
+            match service.submit(req.clone()) {
+                Ok(p) => {
+                    submitted_ids ^= i;
+                    pending.push(p);
+                    // Cap the in-flight window so the generator exerts
+                    // real backpressure instead of buffering every handle.
+                    if pending.len() >= 1024 {
+                        drain(
+                            &mut pending,
+                            &mut completed,
+                            &mut confirmed,
+                            &mut responded_ids,
+                        );
+                    }
+                    break;
+                }
+                Err(SubmitError::Rejected { .. }) if !retried => {
+                    // Closed-loop client: absorb the overload signal by
+                    // draining in-flight responses, then retry once.
+                    retried = true;
+                    drain(
+                        &mut pending,
+                        &mut completed,
+                        &mut confirmed,
+                        &mut responded_ids,
+                    );
+                }
+                Err(SubmitError::Rejected { .. }) => {
+                    shed += 1;
+                    break;
+                }
+                Err(SubmitError::Closed) => {
+                    eprintln!("loadgen: service closed mid-run");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    drain(
+        &mut pending,
+        &mut completed,
+        &mut confirmed,
+        &mut responded_ids,
+    );
+    let elapsed = start.elapsed();
+
+    let report = service.metrics().report(service.queue_depth());
+    let cache = service.cache();
+    let (hits, misses) = (cache.hits(), cache.misses());
+    service.shutdown();
+
+    // Every accepted request must have produced exactly one response.
+    if responded_ids != submitted_ids || completed + shed != args.requests {
+        eprintln!(
+            "loadgen: RESPONSE ACCOUNTING BROKEN: {completed} completed + {shed} shed != {} submitted",
+            args.requests
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, {} confirmed attacks)",
+        args.requests,
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64(),
+        completed,
+        shed,
+        confirmed
+    );
+    println!("profile cache: {hits} hits / {misses} misses");
+    println!("{report}");
+
+    if let Some(path) = &args.json {
+        #[derive(serde::Serialize)]
+        struct BenchOut {
+            requests: u64,
+            completed: u64,
+            shed: u64,
+            confirmed: u64,
+            cache_hits: u64,
+            cache_misses: u64,
+            wall_s: f64,
+            metrics: MetricsReport,
+        }
+        let out = BenchOut {
+            requests: args.requests,
+            completed,
+            shed,
+            confirmed,
+            cache_hits: hits,
+            cache_misses: misses,
+            wall_s: elapsed.as_secs_f64(),
+            metrics: report,
+        };
+        match serde_json::to_string_pretty(&out) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("loadgen: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("loadgen: wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("loadgen: serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

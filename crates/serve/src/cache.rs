@@ -1,0 +1,159 @@
+//! Shared LRU cache of trained normal-condition profiles.
+//!
+//! Training a [`NormalProfile`] is the expensive part of serving a
+//! detection request — it walks every training route set. Deployments
+//! are few and requests are many, so profiles are trained once per
+//! [`ProfileKey`] and shared (via `Arc`) across all workers.
+//!
+//! Training runs **outside** the lock: a miss releases the mutex, trains,
+//! then re-locks to insert. Two racing misses on the same key may both
+//! train — wasted work, never wrong results (training is deterministic in
+//! the key) — and the second insert simply wins. Hits, the steady state,
+//! only ever take the lock for a map probe and a recency bump.
+
+use crate::request::ProfileKey;
+use parking_lot::Mutex;
+use sam::NormalProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct LruInner {
+    /// Key → (recency tick, shared profile).
+    map: HashMap<ProfileKey, (u64, Arc<NormalProfile>)>,
+    /// Monotone counter; larger = more recently used.
+    tick: u64,
+}
+
+/// A bounded, least-recently-used map of trained profiles with hit/miss
+/// accounting.
+pub struct ProfileCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// A cache retaining at most `capacity` profiles (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "profile cache needs capacity >= 1");
+        ProfileCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the profile for `key`, training it with `train` on a miss.
+    ///
+    /// Returns the shared profile and whether this call was a cache hit.
+    pub fn get_or_train(
+        &self,
+        key: &ProfileKey,
+        train: impl FnOnce() -> NormalProfile,
+    ) -> (Arc<NormalProfile>, bool) {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((recency, profile)) = inner.map.get_mut(key) {
+                *recency = tick;
+                let profile = profile.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (profile, true);
+            }
+        }
+        // Miss: train outside the lock (see module docs for the race
+        // story), then insert.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let profile = Arc::new(train());
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // A racing trainer may have inserted meanwhile; keep the existing
+        // entry (identical contents) and just refresh its recency.
+        if let Some((recency, existing)) = inner.map.get_mut(key) {
+            *recency = tick;
+            return (existing.clone(), false);
+        }
+        if inner.map.len() >= self.capacity {
+            // Evict the least recently used entry. Linear scan: the cache
+            // holds one entry per deployment, so len is tens, not
+            // thousands.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (recency, _))| *recency)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key.clone(), (tick, profile.clone()));
+        (profile, false)
+    }
+
+    /// Number of cached profiles right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to train so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str) -> ProfileKey {
+        ProfileKey::new(name, "mr")
+    }
+
+    fn empty_profile() -> NormalProfile {
+        NormalProfile::train(&[], 20)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = ProfileCache::new(4);
+        let (_, hit) = cache.get_or_train(&key("a"), empty_profile);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_train(&key("a"), || panic!("must not retrain"));
+        assert!(hit);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ProfileCache::new(2);
+        cache.get_or_train(&key("a"), empty_profile);
+        cache.get_or_train(&key("b"), empty_profile);
+        cache.get_or_train(&key("a"), empty_profile); // refresh a
+        cache.get_or_train(&key("c"), empty_profile); // evicts b
+        assert_eq!(cache.len(), 2);
+        let (_, hit) = cache.get_or_train(&key("a"), empty_profile);
+        assert!(hit, "a was refreshed, must survive");
+        let (_, hit) = cache.get_or_train(&key("b"), empty_profile);
+        assert!(!hit, "b was the LRU victim");
+    }
+}

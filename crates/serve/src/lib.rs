@@ -1,0 +1,54 @@
+//! # sam-serve — a high-throughput batch detection service over the SAM core
+//!
+//! SAM is a pure statistical post-processor over route sets: it needs no
+//! protocol changes and no per-node state beyond a trained
+//! [`NormalProfile`](sam::NormalProfile). That makes it exactly the kind
+//! of component a real deployment runs as a **shared online service** fed
+//! by many nodes' route discoveries, rather than a one-shot offline call
+//! inside an experiment runner.
+//!
+//! This crate provides that service, in-process:
+//!
+//! * [`DetectionService`](service::DetectionService) — a sharded worker
+//!   pool over bounded channels. Each worker drains its queue in
+//!   **batches** (up to `max_batch` requests per wake), amortizing wakeup
+//!   and cache-lookup costs.
+//! * **Backpressure** — submission never blocks: when a shard's queue is
+//!   full the caller gets [`SubmitError::Rejected`](request::SubmitError)
+//!   carrying the observed queue depth, and the shed is counted. No
+//!   hidden unbounded buffering, no deadlock.
+//! * [`ProfileCache`](cache::ProfileCache) — an LRU of trained profiles
+//!   keyed by [`ProfileKey`](request::ProfileKey), shared across workers
+//!   behind a `parking_lot` mutex, with hit/miss accounting. Training is
+//!   performed outside the lock so a slow train never stalls hits.
+//! * [`ServiceMetrics`](metrics::ServiceMetrics) — throughput counters,
+//!   queue depth, a batch-size histogram, and fixed-bucket latency
+//!   histograms with percentile extraction (no external deps).
+//!
+//! The service is **deterministic**: a request's verdict is a pure
+//! function of its route set, its profile, and its reported probe
+//! behaviour — never of worker count, batching, or arrival order. The
+//! `worker_invariance` integration test pins this at 1, 2, and 8 workers.
+//!
+//! The `loadgen` binary replays simulated route-discovery traffic from
+//! `sam-experiments` scenarios through the service and prints a
+//! throughput/latency report (optionally writing `BENCH_serve.json` for
+//! trajectory tracking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+/// The service-facing surface in one import.
+pub mod prelude {
+    pub use crate::cache::ProfileCache;
+    pub use crate::metrics::{MetricsReport, ServiceMetrics};
+    pub use crate::request::{
+        DetectionRequest, DetectionResponse, ProfileKey, SubmitError, Verdict,
+    };
+    pub use crate::service::{DetectionService, Pending, ServiceConfig};
+}

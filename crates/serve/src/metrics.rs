@@ -1,0 +1,236 @@
+//! Service observability: counters, batch-size and latency histograms.
+//!
+//! Everything here is lock-free (`AtomicU64` only) so the hot path never
+//! contends on a metrics mutex. Latencies go into fixed power-of-two
+//! microsecond buckets; percentiles are read back by walking the
+//! cumulative distribution, which is exact to within one bucket width —
+//! plenty for a throughput report and free of external dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples with
+/// `latency_us < 2^i`, so the top bucket covers ~35 minutes — far beyond
+/// any sane request latency.
+const LATENCY_BUCKETS: usize = 32;
+
+/// Batch sizes are tracked exactly up to this value; larger batches land
+/// in the final overflow bucket.
+const BATCH_BUCKETS: usize = 64;
+
+/// Shared, lock-free counters for one [`DetectionService`]
+/// (see [`crate::service::DetectionService`]).
+pub struct ServiceMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+    batch_size: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics; the throughput clock starts now.
+    pub fn new() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_size: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A request was accepted into a shard queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed because its shard queue was full.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker drained a batch of `size` requests in one wake.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let idx = size.clamp(1, BATCH_BUCKETS) - 1;
+        self.batch_size[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A response was delivered `latency` after submission.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket i holds samples with us < 2^i: index by bit length.
+        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_us[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Responses delivered so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    fn percentile_us(counts: &[u64; LATENCY_BUCKETS], total: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i (samples satisfied us < 2^i).
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+
+    /// Snapshot every counter into an owned report.
+    pub fn report(&self, queue_depth: usize) -> MetricsReport {
+        let latency: [u64; LATENCY_BUCKETS] =
+            std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
+        let completed = self.completed();
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_hist: Vec<(usize, u64)> = self
+            .batch_size
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i + 1, c.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        let mean_batch = if batches == 0 {
+            0.0
+        } else {
+            batch_hist
+                .iter()
+                .map(|&(s, c)| (s as u64 * c) as f64)
+                .sum::<f64>()
+                / batches as f64
+        };
+        MetricsReport {
+            submitted: self.submitted(),
+            rejected: self.rejected(),
+            completed,
+            queue_depth,
+            throughput_rps: completed as f64 / elapsed,
+            batches,
+            mean_batch,
+            batch_hist,
+            p50_us: Self::percentile_us(&latency, completed, 0.50),
+            p90_us: Self::percentile_us(&latency, completed, 0.90),
+            p99_us: Self::percentile_us(&latency, completed, 0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`ServiceMetrics`], serializable for
+/// `BENCH_serve.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests shed with [`SubmitError::Rejected`](crate::request::SubmitError).
+    pub rejected: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Requests sitting in shard queues at snapshot time.
+    pub queue_depth: usize,
+    /// Completed requests per second since service start.
+    pub throughput_rps: f64,
+    /// Worker wakes that drained at least one request.
+    pub batches: u64,
+    /// Mean requests drained per wake.
+    pub mean_batch: f64,
+    /// Sparse batch-size histogram as `(size, count)` pairs (sizes above
+    /// 64 collapse into the 64 bucket).
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Median latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency upper bound, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency upper bound, microseconds.
+    pub p99_us: u64,
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} shed, {} queued",
+            self.submitted, self.completed, self.rejected, self.queue_depth
+        )?;
+        writeln!(f, "throughput: {:.0} req/s", self.throughput_rps)?;
+        writeln!(
+            f,
+            "batching: {} wakes, mean batch {:.2}",
+            self.batches, self.mean_batch
+        )?;
+        write!(
+            f,
+            "latency: p50 < {}us, p90 < {}us, p99 < {}us",
+            self.p50_us, self.p90_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_walk_the_cdf() {
+        let m = ServiceMetrics::new();
+        // 90 fast samples (< 2us → bucket edge 2), 10 slow (~1ms).
+        for _ in 0..90 {
+            m.record_completed(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            m.record_completed(Duration::from_micros(1000));
+        }
+        let r = m.report(0);
+        assert_eq!(r.completed, 100);
+        assert!(r.p50_us <= 2, "median in the fast bucket, got {}", r.p50_us);
+        assert!(
+            r.p99_us >= 1024,
+            "tail in the slow bucket, got {}",
+            r.p99_us
+        );
+    }
+
+    #[test]
+    fn batch_histogram_is_sparse() {
+        let m = ServiceMetrics::new();
+        m.record_batch(1);
+        m.record_batch(1);
+        m.record_batch(7);
+        let r = m.report(0);
+        assert_eq!(r.batches, 3);
+        assert_eq!(r.batch_hist, vec![(1, 2), (7, 1)]);
+        assert!((r.mean_batch - 3.0).abs() < 1e-9);
+    }
+}

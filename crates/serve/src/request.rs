@@ -1,0 +1,150 @@
+//! Request/response types crossing the service boundary.
+
+use manet_routing::Route;
+use manet_sim::NodeId;
+use sam::{DetectionOutcome, SamAnalysis};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of the deployment a route set was observed in.
+///
+/// The paper trains one normal-condition profile per "network topology,
+/// transmission range and routing algorithm employed in the system"; this
+/// key is exactly that triple (range being part of the topology family
+/// string). Requests with equal keys share one cached
+/// [`NormalProfile`](sam::NormalProfile).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// Topology family + parameters, e.g. `"uniform6x6"` or `"cluster1"`.
+    pub topology: String,
+    /// Routing protocol identifier, e.g. `"mr"` or `"dsr"`.
+    pub protocol: String,
+}
+
+impl ProfileKey {
+    /// Build a key from displayable parts.
+    pub fn new(topology: impl Into<String>, protocol: impl Into<String>) -> Self {
+        ProfileKey {
+            topology: topology.into(),
+            protocol: protocol.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProfileKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.topology, self.protocol)
+    }
+}
+
+/// One node's detection request: the route set of one discovery plus the
+/// deployment it came from.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetectionRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Deployment the routes were discovered in (profile cache key).
+    pub key: ProfileKey,
+    /// The routes collected at the destination by one multi-path
+    /// discovery.
+    pub routes: Vec<Route>,
+    /// ACK ratio the requesting node observed when probing suspicious
+    /// paths (step 2 of the paper's procedure), if it probed. `None`
+    /// means probes all succeeded — the pure-relay wormhole case, where
+    /// the statistics alone must carry the verdict.
+    pub probe_ack_ratio: Option<f64>,
+}
+
+/// Compact verdict derived from the procedure outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Step-1 anomaly decision.
+    pub anomalous: bool,
+    /// Step-3 confirmation (probes failed or statistics conclusive).
+    pub confirmed: bool,
+    /// The soft decision λ (0 = certainly attacked, 1 = certainly
+    /// normal).
+    pub lambda: f64,
+    /// `p_max` of the route set.
+    pub p_max: f64,
+    /// `Δ` of the route set.
+    pub delta: f64,
+    /// The localized attack link, when one was singled out.
+    pub suspect_link: Option<(NodeId, NodeId)>,
+    /// Nodes to isolate, when confirmed.
+    pub isolate: Vec<NodeId>,
+}
+
+impl Verdict {
+    /// Project a procedure outcome down to the wire verdict.
+    pub fn from_outcome(outcome: &DetectionOutcome) -> Self {
+        fn of_analysis(a: &SamAnalysis, confirmed: bool, isolate: Vec<NodeId>) -> Verdict {
+            Verdict {
+                anomalous: a.anomalous,
+                confirmed,
+                lambda: a.lambda,
+                p_max: a.features.p_max,
+                delta: a.features.delta,
+                suspect_link: a.suspect_link.map(|l| l.endpoints()),
+                isolate,
+            }
+        }
+        match outcome {
+            DetectionOutcome::Normal { .. } => Verdict {
+                anomalous: false,
+                confirmed: false,
+                lambda: 1.0,
+                p_max: 0.0,
+                delta: 0.0,
+                suspect_link: None,
+                isolate: Vec::new(),
+            },
+            DetectionOutcome::SuspiciousUnconfirmed { analysis, .. } => {
+                of_analysis(analysis, false, Vec::new())
+            }
+            DetectionOutcome::Confirmed { report, analysis } => {
+                of_analysis(analysis, true, report.isolate.clone())
+            }
+        }
+    }
+}
+
+/// The service's answer to one [`DetectionRequest`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetectionResponse {
+    /// Correlation id from the request.
+    pub id: u64,
+    /// The verdict. Deterministic in the request contents — independent
+    /// of worker count, batching, and arrival order.
+    pub verdict: Verdict,
+    /// Whether the profile came from the cache (`true`) or was trained
+    /// for this request (`false`). Diagnostic; excluded from the
+    /// determinism contract.
+    pub profile_cache_hit: bool,
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard's queue was full; the request was shed. The
+    /// caller sees the depth it collided with and may retry later.
+    Rejected {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+    },
+    /// The service has been shut down.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Rejected { queue_depth } => {
+                write!(f, "request shed: shard queue full (depth {queue_depth})")
+            }
+            SubmitError::Closed => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

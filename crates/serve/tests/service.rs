@@ -1,0 +1,225 @@
+//! Integration tests for the detection service: determinism across worker
+//! counts, profile-cache accounting, and backpressure behaviour.
+
+use manet_routing::Route;
+use manet_sim::NodeId;
+use sam::{NormalProfile, SamConfig};
+use sam_serve::prelude::*;
+use sam_serve::service::ProfileSource;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+fn route(ids: &[u32]) -> Route {
+    Route::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+}
+
+/// A normal-looking route set: middles vary with `salt` so no link
+/// dominates across the set.
+fn normal_set(salt: u32) -> Vec<Route> {
+    (0..6u32)
+        .map(|i| {
+            let a = 1 + (salt + i) % 5;
+            let b = 6 + (salt + 2 * i) % 4;
+            route(&[0, a, b, 11])
+        })
+        .collect()
+}
+
+/// A wormhole-shaped route set: the link 20-21 rides on every route.
+fn worm_set(salt: u32) -> Vec<Route> {
+    (0..6u32)
+        .map(|i| {
+            let a = 1 + (salt + i) % 5;
+            let b = 6 + (salt + 3 * i) % 4;
+            route(&[0, a, 20, 21, b, 11])
+        })
+        .collect()
+}
+
+/// Profiles trained on synthetic normal traffic, one per key (the key is
+/// only an identity here — contents are identical, which is fine).
+fn synthetic_profiles() -> ProfileSource {
+    Arc::new(|_key: &ProfileKey| {
+        let sets: Vec<Vec<Route>> = (0..8).map(normal_set).collect();
+        NormalProfile::train(&sets, 20)
+    })
+}
+
+/// A request mix with normal and attacked traffic, clean and failing
+/// probes, across two deployments.
+fn request_mix(n: u64) -> Vec<DetectionRequest> {
+    (0..n)
+        .map(|i| {
+            let salt = (i % 17) as u32;
+            let attacked = i % 3 == 0;
+            DetectionRequest {
+                id: i,
+                key: if i % 2 == 0 {
+                    ProfileKey::new("synthetic-a", "mr")
+                } else {
+                    ProfileKey::new("synthetic-b", "mr")
+                },
+                routes: if attacked {
+                    worm_set(salt)
+                } else {
+                    normal_set(salt)
+                },
+                probe_ack_ratio: if attacked && i % 6 == 0 {
+                    Some(0.0)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+fn serve_all(workers: usize, requests: &[DetectionRequest]) -> BTreeMap<u64, Verdict> {
+    let cfg = ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        max_batch: 4,
+        cache_capacity: 8,
+        // A permissive threshold so the mix produces all three outcome
+        // shapes, making the invariance comparison meaningful.
+        detector: SamConfig {
+            z_threshold: 1.5,
+            ..SamConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = DetectionService::start(cfg, synthetic_profiles());
+    let mut verdicts = BTreeMap::new();
+    let mut pending = Vec::new();
+    for req in requests {
+        // Retry on shed: correctness tests must process every request.
+        loop {
+            match service.submit(req.clone()) {
+                Ok(p) => {
+                    pending.push(p);
+                    break;
+                }
+                Err(SubmitError::Rejected { .. }) => std::thread::yield_now(),
+                Err(SubmitError::Closed) => panic!("service closed"),
+            }
+        }
+    }
+    for p in pending {
+        let resp = p.wait();
+        assert!(
+            verdicts.insert(resp.id, resp.verdict).is_none(),
+            "duplicate response id"
+        );
+    }
+    service.shutdown();
+    verdicts
+}
+
+#[test]
+fn verdicts_are_invariant_across_worker_counts() {
+    let requests = request_mix(120);
+    let one = serve_all(1, &requests);
+    let two = serve_all(2, &requests);
+    let eight = serve_all(8, &requests);
+    assert_eq!(one.len(), 120);
+    assert_eq!(one, two, "1-worker and 2-worker verdicts differ");
+    assert_eq!(one, eight, "1-worker and 8-worker verdicts differ");
+    // The mix must actually exercise the interesting paths, otherwise the
+    // invariance above is vacuous.
+    assert!(
+        one.values().any(|v| v.confirmed),
+        "no confirmed verdicts in mix"
+    );
+    assert!(
+        one.values().any(|v| !v.anomalous),
+        "no normal verdicts in mix"
+    );
+}
+
+#[test]
+fn profile_cache_accounts_hits_and_misses() {
+    let cfg = ServiceConfig {
+        workers: 1, // single worker ⇒ exact hit/miss sequencing
+        queue_capacity: 64,
+        max_batch: 8,
+        cache_capacity: 8,
+        ..ServiceConfig::default()
+    };
+    let service = DetectionService::start(cfg, synthetic_profiles());
+    let requests = request_mix(40); // two distinct keys
+    let pending: Vec<Pending> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("queue is large enough"))
+        .collect();
+    let responses: Vec<DetectionResponse> = pending.into_iter().map(Pending::wait).collect();
+
+    let cache = service.cache();
+    assert_eq!(cache.misses(), 2, "one training per distinct key");
+    assert_eq!(cache.hits(), 38);
+    assert_eq!(responses.iter().filter(|r| !r.profile_cache_hit).count(), 2);
+    assert_eq!(service.metrics().completed(), 40);
+    service.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_rejected_and_never_deadlocks() {
+    // Gate the profile source so the single worker wedges on its first
+    // request until we release it — queues fill deterministically.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let source: ProfileSource = {
+        let gate = gate.clone();
+        Arc::new(move |_key: &ProfileKey| {
+            let (lock, cvar) = &*gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            NormalProfile::train(&(0..4).map(normal_set).collect::<Vec<_>>(), 20)
+        })
+    };
+    let service = DetectionService::start(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 4,
+            cache_capacity: 4,
+            ..ServiceConfig::default()
+        },
+        source,
+    );
+
+    let requests = request_mix(32);
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for req in &requests {
+        match service.submit(req.clone()) {
+            Ok(p) => accepted.push(p),
+            Err(SubmitError::Rejected { queue_depth }) => {
+                assert!(queue_depth > 0, "rejection must report a full queue");
+                shed += 1;
+            }
+            Err(SubmitError::Closed) => panic!("service closed"),
+        }
+    }
+    // Capacity 2 + at most a few in worker hands: most of the 32 shed.
+    assert!(shed > 0, "full queue must shed");
+    assert_eq!(service.metrics().rejected(), shed as u64);
+    assert_eq!(
+        accepted.len() + shed,
+        requests.len(),
+        "every request either accepted or explicitly shed"
+    );
+
+    // Open the gate: everything accepted must still complete.
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    let n = accepted.len() as u64;
+    for p in accepted {
+        let _ = p.wait();
+    }
+    assert_eq!(service.metrics().completed(), n);
+    service.shutdown();
+}

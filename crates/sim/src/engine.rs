@@ -223,7 +223,10 @@ impl<M: Clone + Debug> Network<M> {
                         });
                     }
                     let behavior = &mut behaviors[to.idx()];
-                    let mut ctx = Ctx { net: self, node: to };
+                    let mut ctx = Ctx {
+                        net: self,
+                        node: to,
+                    };
                     behavior.on_receive(&mut ctx, from, channel, msg);
                 }
                 EventKind::Timer { node, key } => {
@@ -235,10 +238,7 @@ impl<M: Clone + Debug> Network<M> {
                         });
                     }
                     let behavior = &mut behaviors[node.idx()];
-                    let mut ctx = Ctx {
-                        net: self,
-                        node,
-                    };
+                    let mut ctx = Ctx { net: self, node };
                     behavior.on_timer(&mut ctx, key);
                 }
             }
@@ -311,7 +311,11 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
             .map(|&v| (v, pos.dist(self.net.topology.position(v))))
             .collect();
         for (v, dist) in deliveries {
-            let lat = self.net.latency.sample(dist, &mut self.net.rng).mul_f64(scale);
+            let lat = self
+                .net
+                .latency
+                .sample(dist, &mut self.net.rng)
+                .mul_f64(scale);
             if self.net.lost() {
                 continue;
             }
@@ -412,10 +416,7 @@ mod tests {
     }
 
     fn line_net(n: usize, seed: u64) -> Network<u32> {
-        let topo = Topology::new(
-            (0..n).map(|i| Pos::new(i as f64, 0.0)).collect(),
-            1.1,
-        );
+        let topo = Topology::new((0..n).map(|i| Pos::new(i as f64, 0.0)).collect(), 1.1);
         Network::new(topo, LatencyModel::deterministic(1e-3), seed)
     }
 
@@ -553,14 +554,19 @@ mod tests {
     fn same_seed_same_run_different_seed_different_jitter() {
         fn arrival(seed: u64) -> Vec<u64> {
             let topo = Topology::new(
-                (0..6).map(|i| Pos::new((i % 3) as f64, (i / 3) as f64)).collect(),
+                (0..6)
+                    .map(|i| Pos::new((i % 3) as f64, (i / 3) as f64))
+                    .collect(),
                 1.5,
             );
             let mut net: Network<u32> = Network::new(topo, LatencyModel::default(), seed);
             let mut nodes: Vec<Flood> = (0..6).map(|_| Flood { heard_at: None }).collect();
             net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
             net.run(&mut nodes, SimTime::MAX);
-            nodes.iter().map(|f| f.heard_at.unwrap().as_micros()).collect()
+            nodes
+                .iter()
+                .map(|f| f.heard_at.unwrap().as_micros())
+                .collect()
         }
         assert_eq!(arrival(42), arrival(42));
         assert_ne!(arrival(1), arrival(2));

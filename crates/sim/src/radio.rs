@@ -109,7 +109,10 @@ mod tests {
         for k in 1u8..=2 {
             let r = range_for_tier(k);
             let kf = k as f64;
-            assert!(r > kf * std::f64::consts::SQRT_2, "tier {k} misses diagonal");
+            assert!(
+                r > kf * std::f64::consts::SQRT_2,
+                "tier {k} misses diagonal"
+            );
             assert!(r < kf + 1.0, "tier {k} reaches next ring");
         }
     }
@@ -142,7 +145,9 @@ mod tests {
     fn jitter_spreads_latencies() {
         let m = LatencyModel::default();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let samples: Vec<u64> = (0..50).map(|_| m.sample(1.0, &mut rng).as_micros()).collect();
+        let samples: Vec<u64> = (0..50)
+            .map(|_| m.sample(1.0, &mut rng).as_micros())
+            .collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         assert!(min >= 1_000, "base latency is a floor");

@@ -77,10 +77,7 @@ pub fn two_cluster_with(cfg: TwoClusterConfig) -> NetworkPlan {
     let bridge_y0 = (side - cfg.bridge_rows) / 2;
     for row in 0..cfg.bridge_rows {
         for col in 0..cfg.bridge_cols {
-            positions.push(Pos::new(
-                (side + col) as f64,
-                (bridge_y0 + row) as f64,
-            ));
+            positions.push(Pos::new((side + col) as f64, (bridge_y0 + row) as f64));
         }
     }
     // Right cluster.

@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn disconnected_detected() {
-        let t = Topology::new(
-            vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
-            1.0,
-        );
+        let t = Topology::new(vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)], 1.0);
         assert!(!is_connected(&t));
         assert_eq!(hop_distance(&t, NodeId(0), NodeId(1)), None);
         assert_eq!(hop_diameter(&t), None);
@@ -128,7 +125,10 @@ mod tests {
     #[test]
     fn shortest_path_trivial_and_missing() {
         let t = line(3);
-        assert_eq!(shortest_path(&t, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        assert_eq!(
+            shortest_path(&t, NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
         let t2 = Topology::new(vec![Pos::new(0.0, 0.0), Pos::new(9.0, 0.0)], 1.0);
         assert_eq!(shortest_path(&t2, NodeId(0), NodeId(1)), None);
     }

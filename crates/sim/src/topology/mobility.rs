@@ -31,8 +31,9 @@ impl NetworkPlan {
             return Some(self.clone());
         }
         for attempt in 0..MAX_ATTEMPTS {
-            let mut rng =
-                StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ u64::from(attempt));
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ u64::from(attempt),
+            );
             let positions: Vec<Pos> = self
                 .topology
                 .positions()
@@ -93,12 +94,7 @@ mod tests {
         // Positions actually moved.
         assert_ne!(p.topology.positions(), plan.topology.positions());
         // But not far.
-        for (a, b) in p
-            .topology
-            .positions()
-            .iter()
-            .zip(plan.topology.positions())
-        {
+        for (a, b) in p.topology.positions().iter().zip(plan.topology.positions()) {
             assert!(a.dist(*b) <= 0.15);
         }
     }

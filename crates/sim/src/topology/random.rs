@@ -64,7 +64,8 @@ pub fn random_topology_with(cfg: RandomConfig, seed: u64) -> NetworkPlan {
 
     for attempt in 0..cfg.max_attempts {
         // Derive a fresh stream per attempt so retries do not correlate.
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64);
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64);
         let mut positions: Vec<Pos> = (0..cfg.nodes)
             .map(|_| {
                 Pos::new(

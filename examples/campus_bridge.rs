@@ -41,8 +41,15 @@ fn main() {
     // ---- Phase 0: training under normal conditions ----------------------
     let normal_sets: Vec<Vec<Route>> = (0..12)
         .map(|seed| {
-            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed)
-                .routes
+            run_attacked_discovery(
+                &plan,
+                ProtocolKind::Mr,
+                &AttackWiring::none(),
+                src,
+                dst,
+                seed,
+            )
+            .routes
         })
         .collect();
     let profile = NormalProfile::train(&normal_sets, SamConfig::default().pmf_bins);
@@ -87,7 +94,10 @@ fn main() {
     };
     match procedure.execute(&discovery.routes, &profile, &mut probes) {
         DetectionOutcome::Normal { selected_routes } => {
-            println!("no anomaly; feeding {} routes back to the source", selected_routes.len());
+            println!(
+                "no anomaly; feeding {} routes back to the source",
+                selected_routes.len()
+            );
         }
         DetectionOutcome::SuspiciousUnconfirmed {
             analysis,

@@ -41,7 +41,10 @@ fn main() {
 
     // Five (source, destination) pairs run their own discoveries; each
     // destination trains its own profile and reports locally.
-    for (i, (s_idx, d_idx)) in [(0, 0), (3, 7), (6, 10), (9, 13), (12, 15)].iter().enumerate() {
+    for (i, (s_idx, d_idx)) in [(0, 0), (3, 7), (6, 10), (9, 13), (12, 15)]
+        .iter()
+        .enumerate()
+    {
         let src = plan.src_pool[*s_idx];
         let dst = plan.dst_pool[*d_idx];
 

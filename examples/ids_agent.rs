@@ -75,7 +75,10 @@ fn main() {
     }
 
     println!("\n{alerts}/10 attacked epochs raised alerts");
-    assert!(alerts >= 7, "most attacked epochs should alert, got {alerts}");
+    assert!(
+        alerts >= 7,
+        "most attacked epochs should alert, got {alerts}"
+    );
     // Eq. (8)–(9): the attack epochs (λ ≈ 0) must not have poisoned the
     // profile — it still reflects normal conditions.
     println!(

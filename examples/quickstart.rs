@@ -25,8 +25,15 @@ fn main() {
     // Train SAM's normal profile from attack-free discoveries.
     let normal_sets: Vec<Vec<Route>> = (0..10)
         .map(|seed| {
-            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed)
-                .routes
+            run_attacked_discovery(
+                &plan,
+                ProtocolKind::Mr,
+                &AttackWiring::none(),
+                src,
+                dst,
+                seed,
+            )
+            .routes
         })
         .collect();
     let detector = SamDetector::default();
@@ -41,14 +48,8 @@ fn main() {
     );
 
     // A normal discovery passes…
-    let normal = run_attacked_discovery(
-        &plan,
-        ProtocolKind::Mr,
-        &AttackWiring::none(),
-        src,
-        dst,
-        99,
-    );
+    let normal =
+        run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, 99);
     let verdict = detector.analyze(&normal.routes, &profile);
     println!(
         "normal discovery: {} routes, p_max {:.3}, Δ {:.3} → anomalous: {} (λ = {:.3})",
@@ -61,8 +62,14 @@ fn main() {
     assert!(!verdict.anomalous);
 
     // …and a wormholed one is flagged and localized.
-    let attacked =
-        run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 99);
+    let attacked = run_wormholed_discovery(
+        &plan,
+        ProtocolKind::Mr,
+        WormholeConfig::default(),
+        src,
+        dst,
+        99,
+    );
     let verdict = detector.analyze(&attacked.routes, &profile);
     println!(
         "attacked discovery: {} routes ({}% affected), p_max {:.3}, Δ {:.3} → anomalous: {} (λ = {:.3})",
@@ -75,7 +82,10 @@ fn main() {
     );
     assert!(verdict.anomalous);
     let suspect = verdict.suspect_link.expect("attack link identified");
-    println!("suspect link: {suspect} (ground truth: {}-{})", pair.a, pair.b);
+    println!(
+        "suspect link: {suspect} (ground truth: {}-{})",
+        pair.a, pair.b
+    );
     assert_eq!(suspect, tunnel_link(pair));
     println!("SAM detected the wormhole and localized both attackers.");
 }

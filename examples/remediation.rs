@@ -21,8 +21,15 @@ fn main() {
     // Train under normal conditions.
     let sets: Vec<Vec<Route>> = (0..10)
         .map(|seed| {
-            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed)
-                .routes
+            run_attacked_discovery(
+                &plan,
+                ProtocolKind::Mr,
+                &AttackWiring::none(),
+                src,
+                dst,
+                seed,
+            )
+            .routes
         })
         .collect();
     let profile = NormalProfile::train(&sets, SamConfig::default().pmf_bins);
@@ -95,7 +102,10 @@ fn main() {
         SimDuration::from_millis(10),
         SimDuration::from_millis(500),
     );
-    println!("data over the clean route: {}/{} ACKed", probe.acked, probe.sent);
+    println!(
+        "data over the clean route: {}/{} ACKed",
+        probe.acked, probe.sent
+    );
     assert_eq!(probe.acked, probe.sent, "clean route must deliver");
 
     // For contrast: a captured route is a black hole.

@@ -20,11 +20,13 @@ fn check_routes(plan: &NetworkPlan, routes: &[Route], src: NodeId, dst: NodeId, 
                 // attacker endpoint (participation) or a replay span
                 // bridging two attacker neighbourhoods (hidden).
                 let attackers = plan.attacker_nodes();
-                let touches_attacker =
-                    attackers.contains(&w[0]) || attackers.contains(&w[1]);
-                let spans_neighbourhoods = attackers.iter().any(|&x| {
-                    plan.topology.are_neighbors(w[0], x)
-                }) && attackers.iter().any(|&x| plan.topology.are_neighbors(w[1], x));
+                let touches_attacker = attackers.contains(&w[0]) || attackers.contains(&w[1]);
+                let spans_neighbourhoods = attackers
+                    .iter()
+                    .any(|&x| plan.topology.are_neighbors(w[0], x))
+                    && attackers
+                        .iter()
+                        .any(|&x| plan.topology.are_neighbors(w[1], x));
                 assert!(
                     touches_attacker || spans_neighbourhoods,
                     "gap {}-{} unrelated to attackers in {r}",
@@ -73,7 +75,10 @@ fn matrix_protocols_by_topologies_normal() {
                     topology.label()
                 );
                 for r in &out.source_routes {
-                    assert!(out.routes.contains(r), "RREP route not from the collected set");
+                    assert!(
+                        out.routes.contains(r),
+                        "RREP route not from the collected set"
+                    );
                 }
             }
         }
@@ -128,7 +133,8 @@ fn two_wormholes_on_every_growable_topology() {
         let spec = ScenarioSpec::attacked(topology, ProtocolKind::Mr).with_wormholes(2);
         let plan = build_plan(&spec, 0);
         assert_eq!(plan.attacker_pairs.len(), 2, "{}", topology.label());
-        plan.validate().unwrap_or_else(|e| panic!("{}: {e}", topology.label()));
+        plan.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", topology.label()));
         let rec = run_once(&spec, 0);
         assert!(rec.n_routes > 0, "{}", topology.label());
     }

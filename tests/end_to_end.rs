@@ -21,8 +21,15 @@ impl ProbeTransport for Live<'_> {
 fn train_profile(plan: &NetworkPlan, src: NodeId, dst: NodeId, n: u64) -> NormalProfile {
     let sets: Vec<Vec<Route>> = (0..n)
         .map(|seed| {
-            run_attacked_discovery(plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed)
-                .routes
+            run_attacked_discovery(
+                plan,
+                ProtocolKind::Mr,
+                &AttackWiring::none(),
+                src,
+                dst,
+                seed,
+            )
+            .routes
         })
         .collect();
     NormalProfile::train(&sets, SamConfig::default().pmf_bins)
@@ -53,7 +60,10 @@ fn full_pipeline_confirms_blackholing_wormhole_on_cluster() {
     };
     let pair = plan.attacker_pairs[0];
     assert_eq!(report.suspect_link, (pair.a, pair.b));
-    assert!(report.probe_ack_ratio < 0.5, "blackhole must eat the probes");
+    assert!(
+        report.probe_ack_ratio < 0.5,
+        "blackhole must eat the probes"
+    );
     assert_eq!(report.isolate, vec![pair.a, pair.b]);
 }
 
@@ -190,23 +200,41 @@ fn ids_agent_over_live_discoveries() {
         },
     );
     for seed in 0..8 {
-        let out =
-            run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, seed);
+        let out = run_attacked_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            &AttackWiring::none(),
+            src,
+            dst,
+            seed,
+        );
         agent.observe_training(out.routes);
     }
     assert_eq!(agent.phase(), AgentPhase::Operational);
 
     let mut transport = all_ack_transport();
     // Normal observation.
-    let normal =
-        run_attacked_discovery(&plan, ProtocolKind::Mr, &AttackWiring::none(), src, dst, 100);
+    let normal = run_attacked_discovery(
+        &plan,
+        ProtocolKind::Mr,
+        &AttackWiring::none(),
+        src,
+        dst,
+        100,
+    );
     assert!(matches!(
         agent.observe(&normal.routes, &mut transport),
         AgentAction::Proceed { .. }
     ));
     // Attacked observation.
-    let attacked =
-        run_wormholed_discovery(&plan, ProtocolKind::Mr, WormholeConfig::default(), src, dst, 100);
+    let attacked = run_wormholed_discovery(
+        &plan,
+        ProtocolKind::Mr,
+        WormholeConfig::default(),
+        src,
+        dst,
+        100,
+    );
     match agent.observe(&attacked.routes, &mut transport) {
         AgentAction::Respond { report, .. } => {
             let pair = plan.attacker_pairs[0];

@@ -69,7 +69,11 @@ fn stray_messages_do_not_panic_or_loop() {
     let stats = net.run(&mut nodes, SimTime::MAX);
     assert!(!stats.truncated);
     // The run terminates quickly: stray traffic must not self-amplify.
-    assert!(stats.events_processed < 50, "{} events", stats.events_processed);
+    assert!(
+        stats.events_processed < 50,
+        "{} events",
+        stats.events_processed
+    );
 }
 
 #[test]

@@ -67,9 +67,21 @@ fn network_plan_round_trips_with_connectivity() {
 #[test]
 fn trained_profile_round_trips_and_still_detects() {
     let sets = vec![
-        vec![route(&[0, 1, 2, 9]), route(&[0, 3, 4, 9]), route(&[0, 5, 6, 9])],
-        vec![route(&[0, 1, 4, 9]), route(&[0, 3, 2, 9]), route(&[0, 5, 4, 9])],
-        vec![route(&[0, 1, 6, 9]), route(&[0, 3, 6, 9]), route(&[0, 5, 2, 9])],
+        vec![
+            route(&[0, 1, 2, 9]),
+            route(&[0, 3, 4, 9]),
+            route(&[0, 5, 6, 9]),
+        ],
+        vec![
+            route(&[0, 1, 4, 9]),
+            route(&[0, 3, 2, 9]),
+            route(&[0, 5, 4, 9]),
+        ],
+        vec![
+            route(&[0, 1, 6, 9]),
+            route(&[0, 3, 6, 9]),
+            route(&[0, 5, 2, 9]),
+        ],
     ];
     let profile = NormalProfile::train(&sets, 20);
     let json = serde_json::to_string(&profile).unwrap();
@@ -113,7 +125,8 @@ fn analysis_and_reports_serialize() {
         paths_tested: 3,
         isolate: vec![NodeId(7), NodeId(8)],
     };
-    let back: AttackReport = serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    let back: AttackReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
     assert_eq!(back.suspect_link, report.suspect_link);
     assert_eq!(back.isolate, report.isolate);
 }

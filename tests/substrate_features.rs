@@ -11,11 +11,8 @@ fn trace_records_the_flood_wavefront() {
     let plan = uniform_grid(6, 6, 1);
     let src = plan.src_pool[0];
     let dst = plan.dst_pool[0];
-    let mut net: Network<RoutingMsg> = Network::new(
-        plan.topology.clone(),
-        LatencyModel::deterministic(1e-3),
-        1,
-    );
+    let mut net: Network<RoutingMsg> =
+        Network::new(plan.topology.clone(), LatencyModel::deterministic(1e-3), 1);
     net.enable_trace(100_000);
     let mut nodes: Vec<RouterNode> = plan
         .topology
