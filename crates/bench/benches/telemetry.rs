@@ -1,0 +1,78 @@
+//! Telemetry overhead benches.
+//!
+//! The contract is that instrumentation costs nothing when no global
+//! context is installed (one relaxed atomic load per check) and stays
+//! cheap when one is: these benches measure a full discovery with
+//! telemetry off vs. on, plus the raw primitive costs (span guard,
+//! counter bump, histogram record).
+//!
+//! The benches toggle the process-global context, so they run in one
+//! group on one thread — do not add parallel-run telemetry benches here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+use sam_telemetry::Telemetry;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+
+    // Full discovery with no global context: the baseline the disabled
+    // path must match.
+    assert!(!sam_telemetry::enabled());
+    group.bench_function("discovery_telemetry_off", |b| {
+        b.iter(|| black_box(run_discovery(&plan, ProtocolKind::Mr, src, dst, 1)))
+    });
+
+    // The same discovery with a collector installed; drained per
+    // iteration so the channel does not grow across the measurement.
+    let tel = Telemetry::new();
+    sam_telemetry::install(tel.clone());
+    group.bench_function("discovery_telemetry_on", |b| {
+        b.iter(|| {
+            let out = black_box(run_discovery(&plan, ProtocolKind::Mr, src, dst, 1));
+            black_box(tel.drain());
+            out
+        })
+    });
+
+    // Primitive costs against the installed context.
+    group.bench_function("span_record", |b| {
+        b.iter(|| {
+            let mut span = sam_telemetry::span("bench.span");
+            span.field("k", 1);
+            drop(span);
+            black_box(tel.drain());
+        })
+    });
+    let counter = tel.registry().counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    let hist = tel.registry().histogram_pow2("bench.hist");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| black_box(&hist).record(12345))
+    });
+
+    sam_telemetry::uninstall();
+    // Disabled span: the one-relaxed-load fast path.
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let span = sam_telemetry::span("bench.span");
+            black_box(span.is_recording())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

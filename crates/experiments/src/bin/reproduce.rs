@@ -1,13 +1,19 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--runs N] [--jobs N] [--out DIR] [EXPERIMENT_ID ...]
+//! reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE] [EXPERIMENT_ID ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Each produces an ASCII table on
 //! stdout and `<DIR>/<id>.json` + `<DIR>/<id>.txt` (default `results/`).
+//!
+//! `--telemetry FILE` installs the process-global [`sam_telemetry`]
+//! context: every experiment and every simulated run emits a span, the
+//! stream plus a final registry snapshot land in `FILE` as JSONL, and a
+//! per-phase summary table is printed at the end.
 
 use sam_experiments::{run_experiment, ALL_IDS};
+use sam_telemetry::{report::write_jsonl, Telemetry, TelemetryReport};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +22,7 @@ struct Args {
     runs: u64,
     jobs: usize,
     out: PathBuf,
+    telemetry: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -32,6 +39,7 @@ fn parse_args() -> Parsed {
     let mut runs = 10u64;
     let mut jobs = 0usize; // 0 = one worker per available core
     let mut out = PathBuf::from("results");
+    let mut telemetry = None;
     let mut ids = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,13 +68,21 @@ fn parse_args() -> Parsed {
                 };
                 out = PathBuf::from(v);
             }
+            "--telemetry" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--telemetry needs a value".into());
+                };
+                telemetry = Some(PathBuf::from(v));
+            }
             "--list" => {
                 return Parsed::Info(ALL_IDS.join("\n"));
             }
             "--help" | "-h" => {
                 return Parsed::Info(format!(
-                    "usage: reproduce [--runs N] [--jobs N] [--out DIR] [--list] [ID ...]\n  \
+                    "usage: reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE] \
+                     [--list] [ID ...]\n  \
                      --jobs N: simulation worker threads (default: available cores)\n  \
+                     --telemetry FILE: write spans + metrics snapshot to FILE as JSONL\n  \
                      known ids: {}",
                     ALL_IDS.join(", ")
                 ));
@@ -81,6 +97,7 @@ fn parse_args() -> Parsed {
         runs,
         jobs,
         out,
+        telemetry,
         ids,
     })
 }
@@ -104,10 +121,20 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
+    let telemetry = args.telemetry.as_ref().map(|_| {
+        let tel = Telemetry::new();
+        sam_telemetry::install(tel.clone());
+        tel
+    });
 
     let mut failed = false;
     for id in &args.ids {
-        let started = std::time::Instant::now();
+        // When telemetry is off this is a timing-only guard (for the
+        // "[id done in …]" line); when on, a recorded "experiment" span.
+        let mut span = sam_telemetry::span("experiment");
+        span.field("id", id);
+        span.field("runs", args.runs);
+        span.field("seed", sam_experiments::scenario::DEFAULT_BASE_SEED);
         let Some(tables) = run_experiment(id, args.runs) else {
             eprintln!(
                 "unknown experiment id: {id} (known: {})",
@@ -134,7 +161,8 @@ fn main() -> ExitCode {
             }
         }
         print!("{text}");
-        println!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!("[{id} done in {:.1}s]\n", span.elapsed().as_secs_f64());
+        drop(span);
         let txt_path = args.out.join(format!("{id}.txt"));
         match std::fs::File::create(&txt_path) {
             Ok(mut f) => {
@@ -145,6 +173,26 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("create {}: {e}", txt_path.display());
+                failed = true;
+            }
+        }
+    }
+    if let (Some(tel), Some(path)) = (telemetry, &args.telemetry) {
+        sam_telemetry::uninstall();
+        let records = tel.drain();
+        let write = std::fs::File::create(path)
+            .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &records, Some(&tel.snapshot())));
+        match write {
+            Ok(()) => {
+                println!("{}", TelemetryReport::from_records(&records));
+                println!(
+                    "[telemetry: {} records -> {}]",
+                    records.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("write {}: {e}", path.display());
                 failed = true;
             }
         }

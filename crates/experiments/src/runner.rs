@@ -89,6 +89,11 @@ pub fn run_once_configured(
     worm_cfg: WormholeConfig,
 ) -> (RunRecord, Vec<Route>) {
     let run_seed = derive_seed(spec.base_seed, run);
+    let mut span = sam_telemetry::span("experiment.run");
+    span.field("scenario", spec.topology.label());
+    span.field("protocol", spec.protocol.label());
+    span.field("run", run);
+    span.field("seed", run_seed);
     let plan = build_plan(spec, run);
     let (src, dst) = draw_endpoints(&plan, run_seed);
 
@@ -124,6 +129,8 @@ pub fn run_once_configured(
         Some(active_pairs.iter().any(|&p| top.contains(&tunnel_link(p))))
     };
 
+    span.field("routes", outcome.routes.len());
+    span.field("overhead", outcome.overhead);
     let record = RunRecord {
         run,
         src,

@@ -101,6 +101,10 @@ pub fn draw_endpoints(plan: &NetworkPlan, run_seed: u64) -> (NodeId, NodeId) {
     (src, dst)
 }
 
+/// The base seed every stock scenario starts from (spells "SAM"); run
+/// `i` derives its own with [`derive_seed`].
+pub const DEFAULT_BASE_SEED: u64 = 0x5A4D;
+
 /// A fully pinned-down experiment scenario.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -121,7 +125,7 @@ impl ScenarioSpec {
             topology,
             protocol,
             active_wormholes: 0,
-            base_seed: 0x5A4D, // "SAM"
+            base_seed: DEFAULT_BASE_SEED,
         }
     }
 

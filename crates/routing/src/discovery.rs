@@ -111,6 +111,9 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
         dst: NodeId,
         max_wait: SimDuration,
     ) -> DiscoveryOutcome {
+        let mut span = sam_telemetry::span("discovery");
+        span.field("src", src);
+        span.field("dst", dst);
         self.net.reset_metrics();
         let id = self.nodes[src.idx()].router_mut().queue_discovery(dst);
         self.net
@@ -123,6 +126,27 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
             .unwrap_or(&[])
             .to_vec();
         let source_routes = self.nodes[src.idx()].router().source_routes().to_vec();
+        span.field("routes", routes.len());
+        span.field("overhead", self.net.metrics().overhead());
+        span.field("events", stats.events_processed);
+        if let Some(tel) = sam_telemetry::global() {
+            let registry = tel.registry();
+            registry.counter("discovery.count").inc();
+            registry
+                .counter("discovery.routes_found")
+                .add(routes.len() as u64);
+            // Flood wavefront size: how many nodes the discovery's
+            // traffic reached (any reception, air or tunnel).
+            let wavefront = self
+                .net
+                .metrics()
+                .iter()
+                .filter(|(_, c)| c.rx > 0 || c.tunnel_rx > 0)
+                .count() as u64;
+            registry
+                .histogram_pow2("discovery.wavefront")
+                .record(wavefront);
+        }
         DiscoveryOutcome {
             id,
             src,

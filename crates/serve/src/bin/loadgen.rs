@@ -6,12 +6,15 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--workers N] [--batch N] [--queue N]
-//!         [--attacked-pct P] [--json PATH]
+//!         [--attacked-pct P] [--json PATH] [--telemetry PATH]
 //! ```
 //!
-//! With `--json PATH` the final [`MetricsReport`] (plus verdict counts) is
-//! written as JSON — CI uses this to track serving throughput over time
-//! (`BENCH_serve.json`).
+//! The final summary is one [`LoadgenSummary`] built from the service's
+//! telemetry registry snapshot — stdout and `--json PATH` render the same
+//! struct, so they cannot disagree. CI uses the JSON to track serving
+//! throughput over time (`BENCH_serve.json`). `--telemetry PATH`
+//! additionally installs the process-global collector and writes every
+//! worker-batch span plus the snapshot as JSONL.
 
 use manet_routing::{ProtocolKind, Route};
 use sam::NormalProfile;
@@ -19,6 +22,7 @@ use sam_experiments::prelude::{derive_seed, ScenarioSpec, TopologyKind};
 use sam_experiments::runner::run_once_with_routes;
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
+use sam_telemetry::{report::write_jsonl, RegistrySnapshot, Telemetry};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +42,7 @@ struct Args {
     queue: usize,
     attacked_pct: u32,
     json: Option<String>,
+    telemetry: Option<String>,
 }
 
 impl Default for Args {
@@ -49,6 +54,7 @@ impl Default for Args {
             queue: 256,
             attacked_pct: 30,
             json: None,
+            telemetry: None,
         }
     }
 }
@@ -88,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--json" => args.json = Some(value("--json")?),
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--help" | "-h" => {
                 println!(
                     "loadgen: replay simulated route discoveries through sam-serve\n\n\
@@ -97,7 +104,8 @@ fn parse_args() -> Result<Args, String> {
                      --batch N         max requests drained per worker wake (default 32)\n  \
                      --queue N         per-shard queue capacity (default 256)\n  \
                      --attacked-pct P  percent of traffic from attacked scenarios (default 30)\n  \
-                     --json PATH       write the metrics report as JSON"
+                     --json PATH       write the summary as JSON\n  \
+                     --telemetry PATH  write batch spans + metrics snapshot as JSONL"
                 );
                 std::process::exit(0);
             }
@@ -147,6 +155,24 @@ fn profile_source() -> ProfileSource {
     })
 }
 
+/// The final summary, assembled once from the service's registry snapshot
+/// plus the client-side counters. Stdout and `--json` render this same
+/// struct, so the two outputs cannot disagree.
+#[derive(serde::Serialize)]
+struct LoadgenSummary {
+    requests: u64,
+    completed: u64,
+    shed: u64,
+    /// Accepted requests whose response never came back (always 0 unless
+    /// the response accounting is broken).
+    dropped_responses: u64,
+    confirmed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    wall_s: f64,
+    metrics: MetricsReport,
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -155,6 +181,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Install before the service starts: DetectionService captures the
+    // global registry at start, and worker batch spans need a collector.
+    let telemetry = args.telemetry.as_ref().map(|_| {
+        let tel = Telemetry::new();
+        sam_telemetry::install(tel.clone());
+        tel
+    });
 
     // Pre-simulate the replay corpus so the measured section exercises
     // the service, not the simulator.
@@ -287,9 +320,68 @@ fn main() -> ExitCode {
     let elapsed = start.elapsed();
 
     let report = service.metrics().report(service.queue_depth());
-    let cache = service.cache();
-    let (hits, misses) = (cache.hits(), cache.misses());
+    let snapshot: RegistrySnapshot = service.registry().snapshot();
     service.shutdown();
+
+    let accepted = args.requests - shed;
+    let summary = LoadgenSummary {
+        requests: args.requests,
+        completed,
+        shed,
+        dropped_responses: accepted.saturating_sub(completed),
+        confirmed,
+        cache_hits: snapshot.counter("serve.cache_hits"),
+        cache_misses: snapshot.counter("serve.cache_misses"),
+        wall_s: elapsed.as_secs_f64(),
+        metrics: report,
+    };
+
+    println!(
+        "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, {} dropped responses, {} confirmed attacks)",
+        summary.requests,
+        summary.wall_s,
+        summary.completed as f64 / summary.wall_s,
+        summary.completed,
+        summary.shed,
+        summary.dropped_responses,
+        summary.confirmed
+    );
+    println!(
+        "profile cache: {} hits / {} misses",
+        summary.cache_hits, summary.cache_misses
+    );
+    println!("{}", summary.metrics);
+
+    let mut failed = false;
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(&summary) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("loadgen: writing {path}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("loadgen: wrote {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: serializing summary: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let (Some(tel), Some(path)) = (telemetry, &args.telemetry) {
+        sam_telemetry::uninstall();
+        let records = tel.drain();
+        let write = std::fs::File::create(path)
+            .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &records, Some(&snapshot)));
+        match write {
+            Ok(()) => eprintln!("loadgen: {} telemetry records -> {path}", records.len()),
+            Err(e) => {
+                eprintln!("loadgen: writing {path}: {e}");
+                failed = true;
+            }
+        }
+    }
 
     // Every accepted request must have produced exactly one response.
     if responded_ids != submitted_ids || completed + shed != args.requests {
@@ -299,54 +391,9 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-
-    println!(
-        "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, {} confirmed attacks)",
-        args.requests,
-        elapsed.as_secs_f64(),
-        completed as f64 / elapsed.as_secs_f64(),
-        completed,
-        shed,
-        confirmed
-    );
-    println!("profile cache: {hits} hits / {misses} misses");
-    println!("{report}");
-
-    if let Some(path) = &args.json {
-        #[derive(serde::Serialize)]
-        struct BenchOut {
-            requests: u64,
-            completed: u64,
-            shed: u64,
-            confirmed: u64,
-            cache_hits: u64,
-            cache_misses: u64,
-            wall_s: f64,
-            metrics: MetricsReport,
-        }
-        let out = BenchOut {
-            requests: args.requests,
-            completed,
-            shed,
-            confirmed,
-            cache_hits: hits,
-            cache_misses: misses,
-            wall_s: elapsed.as_secs_f64(),
-            metrics: report,
-        };
-        match serde_json::to_string_pretty(&out) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("loadgen: writing {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("loadgen: wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("loadgen: serializing report: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    ExitCode::SUCCESS
 }

@@ -14,8 +14,8 @@
 use crate::request::ProfileKey;
 use parking_lot::Mutex;
 use sam::NormalProfile;
+use sam_telemetry::Counter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct LruInner {
@@ -27,16 +27,28 @@ struct LruInner {
 
 /// A bounded, least-recently-used map of trained profiles with hit/miss
 /// accounting.
+///
+/// The hit/miss counters are plain [`sam_telemetry::Counter`]s; pass
+/// registry-owned handles via [`ProfileCache::with_counters`] to surface
+/// them in an exported snapshot (the service wires them up as
+/// `serve.cache_hits` / `serve.cache_misses`).
 pub struct ProfileCache {
     inner: Mutex<LruInner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl ProfileCache {
-    /// A cache retaining at most `capacity` profiles (`capacity ≥ 1`).
+    /// A cache retaining at most `capacity` profiles (`capacity ≥ 1`),
+    /// with private hit/miss counters.
     pub fn new(capacity: usize) -> Self {
+        Self::with_counters(capacity, Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// A cache whose hit/miss accounting lands in the given counters
+    /// (typically registry handles).
+    pub fn with_counters(capacity: usize, hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
         assert!(capacity >= 1, "profile cache needs capacity >= 1");
         ProfileCache {
             inner: Mutex::new(LruInner {
@@ -44,8 +56,8 @@ impl ProfileCache {
                 tick: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -64,13 +76,13 @@ impl ProfileCache {
             if let Some((recency, profile)) = inner.map.get_mut(key) {
                 *recency = tick;
                 let profile = profile.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return (profile, true);
             }
         }
         // Miss: train outside the lock (see module docs for the race
         // story), then insert.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let profile = Arc::new(train());
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -110,12 +122,12 @@ impl ProfileCache {
 
     /// Lookups served from cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that had to train so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 }
 

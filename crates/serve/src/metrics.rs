@@ -1,35 +1,37 @@
-//! Service observability: counters, batch-size and latency histograms.
+//! Service observability, backed by the shared [`sam_telemetry`]
+//! registry.
 //!
-//! Everything here is lock-free (`AtomicU64` only) so the hot path never
-//! contends on a metrics mutex. Latencies go into fixed power-of-two
-//! microsecond buckets; percentiles are read back by walking the
-//! cumulative distribution, which is exact to within one bucket width —
-//! plenty for a throughput report and free of external dependencies.
+//! Since the telemetry unification this module no longer owns histogram
+//! or percentile code: [`ServiceMetrics`] is a thin façade of named
+//! instruments (`serve.*`) in a [`Registry`], so the same numbers are
+//! visible both through the typed [`MetricsReport`] this module has
+//! always produced and through any registry snapshot exported to JSONL.
+//! Everything on the hot path is still a single relaxed atomic update.
 
+use sam_telemetry::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Number of power-of-two latency buckets: bucket `i` counts samples with
-/// `latency_us < 2^i`, so the top bucket covers ~35 minutes — far beyond
-/// any sane request latency.
-const LATENCY_BUCKETS: usize = 32;
 
 /// Batch sizes are tracked exactly up to this value; larger batches land
 /// in the final overflow bucket.
 const BATCH_BUCKETS: usize = 64;
 
-/// Shared, lock-free counters for one [`DetectionService`]
+/// Registry-backed counters for one [`DetectionService`]
 /// (see [`crate::service::DetectionService`]).
+///
+/// Instrument names: `serve.submitted`, `serve.rejected`,
+/// `serve.completed`, `serve.batches`, `serve.latency_us` (power-of-two
+/// histogram), `serve.batch_size` (exact up to 64).
 pub struct ServiceMetrics {
     started: Instant,
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    batches: AtomicU64,
-    latency_us: [AtomicU64; LATENCY_BUCKETS],
-    batch_size: [AtomicU64; BATCH_BUCKETS],
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    batches: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
 }
 
 impl Default for ServiceMetrics {
@@ -39,111 +41,88 @@ impl Default for ServiceMetrics {
 }
 
 impl ServiceMetrics {
-    /// Fresh metrics; the throughput clock starts now.
+    /// Fresh metrics over a private registry; the throughput clock starts
+    /// now.
     pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Metrics recording into `registry`'s `serve.*` instruments — the
+    /// form [`DetectionService`](crate::service::DetectionService) uses so
+    /// its report and the exported telemetry snapshot are one source of
+    /// truth.
+    pub fn with_registry(registry: &Registry) -> Self {
         ServiceMetrics {
             started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
-            batch_size: std::array::from_fn(|_| AtomicU64::new(0)),
+            submitted: registry.counter("serve.submitted"),
+            rejected: registry.counter("serve.rejected"),
+            completed: registry.counter("serve.completed"),
+            batches: registry.counter("serve.batches"),
+            latency_us: registry.histogram_pow2("serve.latency_us"),
+            batch_size: registry.histogram_linear("serve.batch_size", BATCH_BUCKETS),
         }
     }
 
     /// A request was accepted into a shard queue.
     pub fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     /// A request was shed because its shard queue was full.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// A worker drained a batch of `size` requests in one wake.
     pub fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        let idx = size.clamp(1, BATCH_BUCKETS) - 1;
-        self.batch_size[idx].fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_size.record(size as u64);
     }
 
     /// A response was delivered `latency` after submission.
     pub fn record_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        // Bucket i holds samples with us < 2^i: index by bit length.
-        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_us[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(us);
     }
 
     /// Requests accepted so far.
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.get()
     }
 
     /// Requests shed so far.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
     }
 
     /// Responses delivered so far.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
-    }
-
-    fn percentile_us(counts: &[u64; LATENCY_BUCKETS], total: u64, q: f64) -> u64 {
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper edge of bucket i (samples satisfied us < 2^i).
-                return 1u64 << i;
-            }
-        }
-        1u64 << (LATENCY_BUCKETS - 1)
+        self.completed.get()
     }
 
     /// Snapshot every counter into an owned report.
     pub fn report(&self, queue_depth: usize) -> MetricsReport {
-        let latency: [u64; LATENCY_BUCKETS] =
-            std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
         let completed = self.completed();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let batches = self.batches.load(Ordering::Relaxed);
         let batch_hist: Vec<(usize, u64)> = self
             .batch_size
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i + 1, c.load(Ordering::Relaxed)))
-            .filter(|&(_, c)| c > 0)
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(size, count)| (size as usize, count))
             .collect();
-        let mean_batch = if batches == 0 {
-            0.0
-        } else {
-            batch_hist
-                .iter()
-                .map(|&(s, c)| (s as u64 * c) as f64)
-                .sum::<f64>()
-                / batches as f64
-        };
         MetricsReport {
             submitted: self.submitted(),
             rejected: self.rejected(),
             completed,
             queue_depth,
             throughput_rps: completed as f64 / elapsed,
-            batches,
-            mean_batch,
+            batches: self.batches.get(),
+            mean_batch: self.batch_size.mean(),
             batch_hist,
-            p50_us: Self::percentile_us(&latency, completed, 0.50),
-            p90_us: Self::percentile_us(&latency, completed, 0.90),
-            p99_us: Self::percentile_us(&latency, completed, 0.99),
+            p50_us: self.latency_us.percentile(0.50),
+            p90_us: self.latency_us.percentile(0.90),
+            p99_us: self.latency_us.percentile(0.99),
         }
     }
 }
@@ -169,7 +148,7 @@ pub struct MetricsReport {
     /// Sparse batch-size histogram as `(size, count)` pairs (sizes above
     /// 64 collapse into the 64 bucket).
     pub batch_hist: Vec<(usize, u64)>,
-    /// Median latency upper bound, microseconds.
+    /// Median latency upper bound, microseconds (0 with no samples).
     pub p50_us: u64,
     /// 90th-percentile latency upper bound, microseconds.
     pub p90_us: u64,
@@ -223,6 +202,20 @@ mod tests {
     }
 
     #[test]
+    fn empty_metrics_report_zero_percentiles() {
+        // With no completed requests the percentile is an explicit 0 —
+        // not the top bucket edge the CDF walk would fall through to.
+        let m = ServiceMetrics::new();
+        let r = m.report(0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.p50_us, 0);
+        assert_eq!(r.p90_us, 0);
+        assert_eq!(r.p99_us, 0);
+        assert_eq!(r.mean_batch, 0.0);
+        assert!(r.batch_hist.is_empty());
+    }
+
+    #[test]
     fn batch_histogram_is_sparse() {
         let m = ServiceMetrics::new();
         m.record_batch(1);
@@ -232,5 +225,28 @@ mod tests {
         assert_eq!(r.batches, 3);
         assert_eq!(r.batch_hist, vec![(1, 2), (7, 1)]);
         assert!((r.mean_batch - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_registry_sees_the_same_numbers() {
+        let registry = Registry::new();
+        let m = ServiceMetrics::with_registry(&registry);
+        m.record_submitted();
+        m.record_submitted();
+        m.record_rejected();
+        m.record_batch(2);
+        m.record_completed(Duration::from_micros(100));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.submitted"), 2);
+        assert_eq!(snap.counter("serve.rejected"), 1);
+        assert_eq!(snap.counter("serve.completed"), 1);
+        assert_eq!(snap.counter("serve.batches"), 1);
+        let lat = snap.histogram("serve.latency_us").unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(snap.histogram("serve.batch_size").unwrap().count, 1);
+        // And the typed report agrees with the snapshot.
+        let r = m.report(0);
+        assert_eq!(r.submitted, 2);
+        assert_eq!(r.p50_us, lat.p50);
     }
 }

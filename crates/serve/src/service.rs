@@ -29,6 +29,7 @@ use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, SubmitErro
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use manet_routing::{ProbeOutcome, Route};
 use sam::{NormalProfile, Procedure, ProcedureConfig, SamConfig, SamDetector};
+use sam_telemetry::Registry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -126,6 +127,7 @@ pub struct DetectionService {
     next_shard: AtomicUsize,
     cache: Arc<ProfileCache>,
     metrics: Arc<ServiceMetrics>,
+    registry: Arc<Registry>,
 }
 
 impl DetectionService {
@@ -136,8 +138,18 @@ impl DetectionService {
         assert!(cfg.queue_capacity >= 1, "need queue capacity >= 1");
         assert!(cfg.max_batch >= 1, "need max_batch >= 1");
 
-        let cache = Arc::new(ProfileCache::new(cfg.cache_capacity));
-        let metrics = Arc::new(ServiceMetrics::new());
+        // All instruments live in one registry: the process-global one
+        // when telemetry is installed (so `serve.*` shows up in exported
+        // snapshots), a private one otherwise.
+        let registry = sam_telemetry::global()
+            .map(|t| t.registry().clone())
+            .unwrap_or_default();
+        let cache = Arc::new(ProfileCache::with_counters(
+            cfg.cache_capacity,
+            registry.counter("serve.cache_hits"),
+            registry.counter("serve.cache_misses"),
+        ));
+        let metrics = Arc::new(ServiceMetrics::with_registry(&registry));
         let mut shards = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
 
@@ -166,6 +178,7 @@ impl DetectionService {
             next_shard: AtomicUsize::new(0),
             cache,
             metrics,
+            registry,
         }
     }
 
@@ -215,6 +228,13 @@ impl DetectionService {
     /// The shared metrics.
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
         &self.metrics
+    }
+
+    /// The registry holding every `serve.*` instrument — the global
+    /// telemetry registry when one was installed at start, a private one
+    /// otherwise.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Stop accepting work, drain the queues, and join every worker.
@@ -267,9 +287,12 @@ impl Worker {
                 }
             }
             self.metrics.record_batch(batch.len());
+            let mut span = sam_telemetry::span("serve.batch");
+            span.field("size", batch.len());
             for job in batch.drain(..) {
                 self.process(job);
             }
+            drop(span);
         }
     }
 

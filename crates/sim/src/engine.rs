@@ -20,6 +20,7 @@ use crate::topology::Topology;
 use crate::trace::{Trace, TraceEntry, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sam_telemetry::Telemetry;
 use std::fmt::Debug;
 
 /// Protocol logic for one node. `Msg` is the wire message type shared by
@@ -67,6 +68,10 @@ pub struct Network<M> {
     loss_prob: f64,
     max_events: u64,
     trace: Option<Trace>,
+    /// Telemetry context recorded into by `run` (events dispatched, queue
+    /// high-water mark, one span per run). Captured from the process
+    /// global at construction; `None` keeps the hot path untouched.
+    telemetry: Option<Telemetry>,
 }
 
 impl<M: Clone + Debug> Network<M> {
@@ -84,7 +89,20 @@ impl<M: Clone + Debug> Network<M> {
             loss_prob: 0.0,
             max_events: 20_000_000,
             trace: None,
+            telemetry: sam_telemetry::global(),
         }
+    }
+
+    /// Override the telemetry context (`None` disables recording). The
+    /// default is whatever [`sam_telemetry::global`] held when this
+    /// network was built.
+    pub fn set_telemetry(&mut self, telemetry: Option<Telemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry context this network records into, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Set the per-delivery loss probability: each over-the-air delivery
@@ -188,6 +206,11 @@ impl<M: Clone + Debug> Network<M> {
             self.topology.len(),
             "one behaviour per node required"
         );
+        // One clone of the Arc-backed handle per run; `None` costs a
+        // single branch per event (the queue high-water tracking below).
+        let telemetry = self.telemetry.clone();
+        let mut span = telemetry.as_ref().map(|t| t.span("sim.run"));
+        let mut queue_hwm = 0usize;
         let mut processed = 0u64;
         let mut truncated = false;
         while let Some(at) = self.queue.peek_time() {
@@ -201,6 +224,9 @@ impl<M: Clone + Debug> Network<M> {
             let ev = self.queue.pop().expect("peeked event exists");
             self.now = ev.at;
             processed += 1;
+            if telemetry.is_some() {
+                queue_hwm = queue_hwm.max(self.queue.len());
+            }
             match ev.kind {
                 EventKind::Deliver {
                     to,
@@ -241,6 +267,16 @@ impl<M: Clone + Debug> Network<M> {
                     let mut ctx = Ctx { net: self, node };
                     behavior.on_timer(&mut ctx, key);
                 }
+            }
+        }
+        if let Some(t) = &telemetry {
+            let registry = t.registry();
+            registry.counter("sim.events_dispatched").add(processed);
+            registry.gauge("sim.queue_hwm").record_max(queue_hwm as u64);
+            if let Some(span) = &mut span {
+                span.field("events", processed);
+                span.field("end_us", self.now.as_micros());
+                span.field("truncated", truncated);
             }
         }
         RunStats {

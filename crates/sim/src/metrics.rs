@@ -135,6 +135,25 @@ mod tests {
     }
 
     #[test]
+    fn totals_mix_channels_correctly() {
+        // Broadcast and unicast sends both land in `tx` (one transmission
+        // each, per the paper's criterion); tunnel traffic stays in its
+        // own pair of counters whatever else a node did.
+        let mut m = Metrics::new(2);
+        let a = m.node_mut(NodeId(0));
+        a.tx = 3; // e.g. 2 broadcasts + 1 unicast
+        a.rx = 1;
+        a.tunnel_tx = 2;
+        let b = m.node_mut(NodeId(1));
+        b.rx = 4; // e.g. 3 broadcast receptions + 1 unicast reception
+        b.tunnel_rx = 2;
+        assert_eq!(m.total_tx(), 3);
+        assert_eq!(m.total_rx(), 5);
+        assert_eq!(m.overhead(), 8);
+        assert_eq!(m.overhead_with_tunnel(), 12);
+    }
+
+    #[test]
     fn iter_yields_all_nodes() {
         let m = Metrics::new(4);
         assert_eq!(m.iter().count(), 4);

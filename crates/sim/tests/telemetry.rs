@@ -1,0 +1,102 @@
+//! Engine telemetry contract: recording when a context is wired,
+//! provably untouched when not.
+
+use manet_sim::prelude::*;
+use sam_telemetry::Telemetry;
+
+/// Flood-once behaviour (mirror of the engine's own test behaviour).
+struct Flood {
+    heard: bool,
+}
+
+impl Behavior for Flood {
+    type Msg = u32;
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, _ch: Channel, msg: u32) {
+        if !self.heard {
+            self.heard = true;
+            ctx.broadcast(msg);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _key: u64) {
+        self.heard = true;
+        ctx.broadcast(7);
+    }
+}
+
+fn flood_run(net: &mut Network<u32>, n: usize) -> RunStats {
+    let mut nodes: Vec<Flood> = (0..n).map(|_| Flood { heard: false }).collect();
+    net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+    net.run(&mut nodes, SimTime::MAX)
+}
+
+fn line_net(n: usize) -> Network<u32> {
+    let topo = Topology::new((0..n).map(|i| Pos::new(i as f64, 0.0)).collect(), 1.1);
+    Network::new(topo, LatencyModel::deterministic(1e-3), 0)
+}
+
+/// One test, not several: it asserts on the *absence* of global state, so
+/// it must not run concurrently with a test that installs the global.
+/// Nothing else in this binary touches `sam_telemetry::install`.
+#[test]
+fn engine_records_when_wired_and_is_zero_overhead_when_not() {
+    // --- Telemetry off: no global installed, nothing allocated. ---
+    assert!(
+        sam_telemetry::global().is_none(),
+        "test binary must start with no global telemetry"
+    );
+    let mut net = line_net(5);
+    assert!(
+        net.telemetry().is_none(),
+        "no global at construction => no collector captured"
+    );
+    let stats = flood_run(&mut net, 5);
+    assert!(stats.events_processed > 0);
+
+    // A context created *after* the silent run sees nothing: the run
+    // recorded into no collector and touched no counters.
+    let probe = Telemetry::new();
+    assert!(probe.drain().is_empty());
+    let snap = probe.snapshot();
+    assert_eq!(snap.counter("sim.events_dispatched"), 0);
+    assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+
+    // --- Telemetry on (explicitly wired, no global needed). ---
+    let tel = Telemetry::new();
+    let mut net = line_net(5);
+    net.set_telemetry(Some(tel.clone()));
+    let stats = flood_run(&mut net, 5);
+
+    let snap = tel.snapshot();
+    assert_eq!(
+        snap.counter("sim.events_dispatched"),
+        stats.events_processed,
+        "every dispatched event is counted"
+    );
+    assert!(
+        snap.gauge("sim.queue_hwm") > 0,
+        "a flood keeps multiple deliveries queued"
+    );
+    let records = tel.drain();
+    let run_span = records
+        .iter()
+        .find(|r| r.name == "sim.run")
+        .expect("one span per run");
+    assert!(run_span
+        .fields
+        .iter()
+        .any(|(k, v)| k == "events" && *v == stats.events_processed.to_string()));
+    assert!(run_span
+        .fields
+        .iter()
+        .any(|(k, v)| k == "truncated" && v == "false"));
+
+    // --- Wired then unwired: off again. ---
+    net.set_telemetry(None);
+    flood_run(&mut net, 5);
+    assert_eq!(
+        tel.snapshot().counter("sim.events_dispatched"),
+        stats.events_processed,
+        "unwired run must not advance the counter"
+    );
+    assert!(tel.drain().is_empty());
+}
