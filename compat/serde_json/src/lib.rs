@@ -11,10 +11,13 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 pub use serde::Value as JsonValue;
+
+/// The value tree, under the name real `serde_json` exports it as.
+pub use serde::Value;
 
 /// Serialization or parse error.
 #[derive(Clone, Debug)]

@@ -59,6 +59,7 @@
 
 pub mod collaboration;
 pub mod detector;
+pub mod explain;
 pub mod hypothesis;
 pub mod ids;
 pub mod pmf;
@@ -70,6 +71,7 @@ pub mod stats;
 pub mod prelude {
     pub use crate::collaboration::{GlobalCoordinator, LinkVerdict, NodeVerdict};
     pub use crate::detector::{SamAnalysis, SamConfig, SamDetector};
+    pub use crate::explain::{Explanation, HopProvenance, RouteExplanation};
     pub use crate::hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
     pub use crate::ids::{AgentAction, AgentConfig, AgentPhase, IdsAgent, ResponseMsg};
     pub use crate::pmf::{Pmf, PmfProfile, PmfVerdict};

@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE] [EXPERIMENT_ID ...]
+//! reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE]
+//!           [--flight FILE] [--bench FILE] [EXPERIMENT_ID ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Each produces an ASCII table on
@@ -11,9 +12,20 @@
 //! context: every experiment and every simulated run emits a span, the
 //! stream plus a final registry snapshot land in `FILE` as JSONL, and a
 //! per-phase summary table is printed at the end.
+//!
+//! `--flight FILE` additionally records one 2-cluster wormhole run with
+//! the causal flight recorder on: the recording (trace + spans +
+//! explanation) goes to `FILE`, the verdict explanation to
+//! `<DIR>/flight.json`, and — when `--telemetry` is also on — the
+//! explanation line is appended to the telemetry JSONL stream.
+//!
+//! `--bench FILE` writes a [`BenchReport`] (wall time + final registry
+//! snapshot) for CI trend tracking.
 
+use sam_experiments::flight::{record_flight, FlightOptions};
+use sam_experiments::scenario::{ScenarioSpec, TopologyKind};
 use sam_experiments::{run_experiment, ALL_IDS};
-use sam_telemetry::{report::write_jsonl, Telemetry, TelemetryReport};
+use sam_telemetry::{report::write_jsonl, BenchReport, Telemetry, TelemetryReport};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +35,8 @@ struct Args {
     jobs: usize,
     out: PathBuf,
     telemetry: Option<PathBuf>,
+    flight: Option<PathBuf>,
+    bench: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -40,6 +54,8 @@ fn parse_args() -> Parsed {
     let mut jobs = 0usize; // 0 = one worker per available core
     let mut out = PathBuf::from("results");
     let mut telemetry = None;
+    let mut flight = None;
+    let mut bench = None;
     let mut ids = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,15 +90,29 @@ fn parse_args() -> Parsed {
                 };
                 telemetry = Some(PathBuf::from(v));
             }
+            "--flight" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--flight needs a value".into());
+                };
+                flight = Some(PathBuf::from(v));
+            }
+            "--bench" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--bench needs a value".into());
+                };
+                bench = Some(PathBuf::from(v));
+            }
             "--list" => {
                 return Parsed::Info(ALL_IDS.join("\n"));
             }
             "--help" | "-h" => {
                 return Parsed::Info(format!(
                     "usage: reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE] \
-                     [--list] [ID ...]\n  \
+                     [--flight FILE] [--bench FILE] [--list] [ID ...]\n  \
                      --jobs N: simulation worker threads (default: available cores)\n  \
                      --telemetry FILE: write spans + metrics snapshot to FILE as JSONL\n  \
+                     --flight FILE: record an explained 2-cluster wormhole run to FILE\n  \
+                     --bench FILE: write a wall-time + counters bench report to FILE\n  \
                      known ids: {}",
                     ALL_IDS.join(", ")
                 ));
@@ -98,6 +128,8 @@ fn parse_args() -> Parsed {
         jobs,
         out,
         telemetry,
+        flight,
+        bench,
         ids,
     })
 }
@@ -121,11 +153,14 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
-    let telemetry = args.telemetry.as_ref().map(|_| {
+    // --bench needs the registry counters too, so either flag installs
+    // the global context.
+    let telemetry = (args.telemetry.is_some() || args.bench.is_some()).then(|| {
         let tel = Telemetry::new();
         sam_telemetry::install(tel.clone());
         tel
     });
+    let started = std::time::Instant::now();
 
     let mut failed = false;
     for id in &args.ids {
@@ -177,23 +212,73 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let (Some(tel), Some(path)) = (telemetry, &args.telemetry) {
+    // Flight-record one explained 2-cluster wormhole run. The recording
+    // captures its own (local) telemetry, so the global stream above is
+    // untouched; only the explanation line joins the JSONL output.
+    let mut flight_explanation = None;
+    if let Some(path) = &args.flight {
+        let spec =
+            ScenarioSpec::attacked(TopologyKind::cluster1(), manet_routing::ProtocolKind::Mr);
+        let (recording, explanation) = record_flight(&spec, 0, &FlightOptions::default());
+        if let Err(e) = recording.save(path) {
+            eprintln!("write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!(
+                "[flight: {} entries, suspect {:?} -> {}]",
+                recording.entries.len(),
+                explanation.suspect_link,
+                path.display()
+            );
+        }
+        let report_path = args.out.join("flight.json");
+        let pretty = serde_json::to_string_pretty(&explanation).expect("explanation serializes");
+        if let Err(e) = std::fs::write(&report_path, pretty) {
+            eprintln!("write {}: {e}", report_path.display());
+            failed = true;
+        }
+        flight_explanation = Some(explanation);
+    }
+
+    if let Some(tel) = &telemetry {
         sam_telemetry::uninstall();
-        let records = tel.drain();
-        let write = std::fs::File::create(path)
-            .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &records, Some(&tel.snapshot())));
-        match write {
-            Ok(()) => {
-                println!("{}", TelemetryReport::from_records(&records));
-                println!(
-                    "[telemetry: {} records -> {}]",
-                    records.len(),
-                    path.display()
-                );
+        if let Some(path) = &args.telemetry {
+            let records = tel.drain();
+            let write = std::fs::File::create(path).and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                write_jsonl(&mut w, &records, Some(&tel.snapshot()))?;
+                if let Some(ex) = &flight_explanation {
+                    let line = serde_json::to_string(ex).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?;
+                    writeln!(w, "{line}")?;
+                }
+                Ok(())
+            });
+            match write {
+                Ok(()) => {
+                    println!("{}", TelemetryReport::from_records(&records));
+                    println!(
+                        "[telemetry: {} records -> {}]",
+                        records.len(),
+                        path.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("write {}: {e}", path.display());
+                    failed = true;
+                }
             }
-            Err(e) => {
-                eprintln!("write {}: {e}", path.display());
-                failed = true;
+        }
+        if let Some(path) = &args.bench {
+            let report =
+                BenchReport::new("reproduce", started.elapsed().as_secs_f64(), tel.snapshot());
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => println!("[bench: {:.1}s -> {}]", report.wall_s, path.display()),
+                Err(e) => {
+                    eprintln!("write {}: {e}", path.display());
+                    failed = true;
+                }
             }
         }
     }

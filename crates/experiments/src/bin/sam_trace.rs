@@ -1,0 +1,239 @@
+//! Inspect and export causal flight recordings.
+//!
+//! ```text
+//! sam-trace record <out> [--scenario S] [--protocol P] [--run N]
+//!                        [--capacity N] [--normal]
+//! sam-trace summary <file> [--json]
+//! sam-trace lineage <file> <packet-id>
+//! sam-trace diff <a> <b>
+//! sam-trace export <file> --chrome [-o OUT]
+//! ```
+//!
+//! `record` runs one scenario with the flight recorder on and saves the
+//! JSONL recording; the other subcommands load such a file. `export
+//! --chrome` emits Chrome trace-event JSON loadable in Perfetto or
+//! `chrome://tracing`.
+
+use manet_routing::ProtocolKind;
+use manet_sim::{TraceEntry, TraceKind};
+use sam_experiments::flight::{record_flight, FlightOptions};
+use sam_experiments::scenario::{ScenarioSpec, TopologyKind};
+use sam_flight::{chrome_trace, diff_summaries, FlightRecording, FlightSummary};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sam-trace <record|summary|lineage|diff|export> ...\n  \
+    record <out> [--scenario cluster1|cluster2|uniform6x6|uniform10x6|random]\n         \
+    [--protocol dsr|mr|smr|aomdv] [--run N] [--capacity N] [--normal]\n  \
+    summary <file> [--json]\n  \
+    lineage <file> <packet-id>\n  \
+    diff <a> <b>\n  \
+    export <file> --chrome [-o OUT]";
+
+fn parse_scenario(s: &str) -> Option<TopologyKind> {
+    match s {
+        "cluster1" => Some(TopologyKind::cluster1()),
+        "cluster2" => Some(TopologyKind::cluster2()),
+        "uniform6x6" => Some(TopologyKind::uniform6x6()),
+        "uniform10x6" => Some(TopologyKind::uniform10x6()),
+        "random" => Some(TopologyKind::Random),
+        _ => None,
+    }
+}
+
+fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    match s {
+        "dsr" => Some(ProtocolKind::Dsr),
+        "mr" => Some(ProtocolKind::Mr),
+        "smr" => Some(ProtocolKind::Smr),
+        "aomdv" => Some(ProtocolKind::Aomdv),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<FlightRecording, String> {
+    FlightRecording::load(Path::new(path)).map_err(|e| format!("load {path}: {e}"))
+}
+
+/// One trace entry as a human-readable line.
+fn entry_line(e: &TraceEntry) -> String {
+    let what = match e.kind {
+        TraceKind::Deliver { from, channel } => {
+            format!("deliver {channel:?} {} -> {}", from.0, e.node.0)
+        }
+        TraceKind::Timer { key } => format!("timer key={key} @ node {}", e.node.0),
+    };
+    let cause = match e.cause {
+        Some(c) => format!("cause={c}"),
+        None => "root".to_string(),
+    };
+    format!("#{:<8} t={:<10} {:<28} {}", e.id, e.at.0, what, cause)
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let mut out = None;
+    let mut topology = TopologyKind::cluster1();
+    let mut protocol = ProtocolKind::Mr;
+    let mut run = 0u64;
+    let mut opts = FlightOptions::default();
+    let mut attacked = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a value")?;
+                topology = parse_scenario(v).ok_or_else(|| format!("unknown scenario: {v}"))?;
+            }
+            "--protocol" => {
+                let v = it.next().ok_or("--protocol needs a value")?;
+                protocol = parse_protocol(v).ok_or_else(|| format!("unknown protocol: {v}"))?;
+            }
+            "--run" => {
+                let v = it.next().ok_or("--run needs a value")?;
+                run = v.parse().map_err(|_| format!("bad --run value: {v}"))?;
+            }
+            "--capacity" => {
+                let v = it.next().ok_or("--capacity needs a value")?;
+                opts.trace_capacity = v.parse().map_err(|_| format!("bad --capacity: {v}"))?;
+            }
+            "--normal" => attacked = false,
+            other if out.is_none() && !other.starts_with('-') => {
+                out = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let out = out.ok_or("record needs an output path")?;
+    let spec = if attacked {
+        ScenarioSpec::attacked(topology, protocol)
+    } else {
+        ScenarioSpec::normal(topology, protocol)
+    };
+    let (recording, explanation) = record_flight(&spec, run, &opts);
+    recording
+        .save(&out)
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("{}", FlightSummary::from_recording(&recording));
+    println!(
+        "verdict: {} (λ = {:.3}, suspect {:?})",
+        if explanation.anomalous {
+            "ANOMALOUS"
+        } else {
+            "normal"
+        },
+        explanation.lambda,
+        explanation.suspect_link,
+    );
+    println!("[recorded -> {}]", out.display());
+    Ok(())
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    let [path] = paths.as_slice() else {
+        return Err("summary needs exactly one file".to_string());
+    };
+    let summary = FlightSummary::from_recording(&load(path)?);
+    if json {
+        let line = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        println!("{line}");
+    } else {
+        print!("{summary}");
+    }
+    Ok(())
+}
+
+fn cmd_lineage(args: &[String]) -> Result<(), String> {
+    let [path, id] = args else {
+        return Err("lineage needs <file> <packet-id>".to_string());
+    };
+    let id: u64 = id.parse().map_err(|_| format!("bad packet id: {id}"))?;
+    let recording = load(path)?;
+    let trace = recording.trace();
+    if trace.entry(id).is_none() {
+        return Err(format!("no trace entry with id {id}"));
+    }
+    // `Trace::lineage` walks child-first; print the causal story
+    // root-first so tunnels read in arrival order.
+    let chain = trace.lineage(id);
+    for e in chain.iter().rev() {
+        println!("{}", entry_line(e));
+    }
+    println!(
+        "[depth {} · {} tunnel traversal(s)]",
+        trace.lineage_depth(id),
+        trace.tunnel_traversals(id)
+    );
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("diff needs exactly two files".to_string());
+    };
+    let sa = FlightSummary::from_recording(&load(a)?);
+    let sb = FlightSummary::from_recording(&load(b)?);
+    print!("{}", diff_summaries(&sa, &sb));
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut chrome = false;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chrome" => chrome = true,
+            "-o" | "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("-o needs a value")?));
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let path = path.ok_or("export needs an input file")?;
+    if !chrome {
+        return Err("export supports only --chrome for now".to_string());
+    }
+    let doc = chrome_trace(&load(&path)?);
+    let text = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+    match out {
+        Some(out) => {
+            std::fs::write(&out, text).map_err(|e| format!("write {}: {e}", out.display()))?;
+            eprintln!("[chrome trace -> {}]", out.display());
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "record" => cmd_record(rest),
+        "summary" => cmd_summary(rest),
+        "lineage" => cmd_lineage(rest),
+        "diff" => cmd_diff(rest),
+        "export" => cmd_export(rest),
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Flight-recorded detection runs: train, attack, discover with the
+//! causal trace on, explain the verdict, and package everything as a
+//! [`FlightRecording`] for the `sam-trace` CLI.
+
+use crate::runner::{build_plan, run_once_with_routes};
+use crate::scenario::{derive_seed, draw_endpoints, ScenarioSpec};
+use manet_attacks::prelude::*;
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+use manet_sim::TraceChannel;
+use sam::prelude::*;
+use sam_flight::{reconstruct_route, FlightMeta, FlightRecording};
+use sam_telemetry::Telemetry;
+
+/// Offset separating training run indices from the recorded run (same
+/// convention as the `detection` experiment).
+const TRAIN_OFFSET: u64 = 1000;
+
+/// Knobs for one recorded run.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightOptions {
+    /// Trace buffer bound (entries past it are counted, not stored).
+    pub trace_capacity: usize,
+    /// Normal-condition discoveries used to train the profile.
+    pub train_runs: u64,
+}
+
+impl Default for FlightOptions {
+    fn default() -> Self {
+        FlightOptions {
+            trace_capacity: 200_000,
+            train_runs: 8,
+        }
+    }
+}
+
+/// Run `spec` once with the flight recorder on, explain the verdict, and
+/// return the full recording plus the typed explanation.
+///
+/// The run's engine telemetry (spans, counters) is captured into a
+/// *local* collector — no global install — so this is safe to call from
+/// parallel tests.
+pub fn record_flight(
+    spec: &ScenarioSpec,
+    run: u64,
+    opts: &FlightOptions,
+) -> (FlightRecording, Explanation) {
+    let tel = Telemetry::new();
+
+    // Train on attack-free discoveries with disjoint run indices.
+    let normal = ScenarioSpec {
+        active_wormholes: 0,
+        ..*spec
+    };
+    let training: Vec<Vec<Route>> = (0..opts.train_runs)
+        .map(|i| run_once_with_routes(&normal, TRAIN_OFFSET + i).1)
+        .collect();
+    // 2.5σ, as in the detection experiment: small-sample profiles
+    // under-fire at the library's 3σ default.
+    let detector = SamDetector::new(SamConfig {
+        z_threshold: 2.5,
+        ..SamConfig::default()
+    });
+    let profile = NormalProfile::train(&training, detector.config().pmf_bins);
+
+    // The recorded run, trace on.
+    let run_seed = derive_seed(spec.base_seed, run);
+    let plan = build_plan(spec, run);
+    let (src, dst) = draw_endpoints(&plan, run_seed);
+    let active: Vec<usize> = (0..spec.active_wormholes).collect();
+    let wiring = if active.is_empty() {
+        AttackWiring::none()
+    } else {
+        AttackWiring::from_plan(&plan, &active, WormholeConfig::blackholing())
+    };
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(spec.protocol),
+        &wiring,
+        LatencyModel::default(),
+        run_seed,
+    );
+    session.network_mut().set_telemetry(Some(tel.clone()));
+    session.enable_trace(opts.trace_capacity);
+    let discovery = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    let trace = session.take_trace().expect("tracing was enabled");
+
+    // Explain the verdict, backing every suspicious route's hops with
+    // the causal trace.
+    let analysis = detector.analyze(&discovery.routes, &profile);
+    let mut explanation = Explanation::from_analysis(&discovery.routes, &analysis);
+    for i in 0..explanation.routes.len() {
+        let nodes: Vec<NodeId> = explanation.routes[i]
+            .nodes
+            .iter()
+            .map(|&n| NodeId(n))
+            .collect();
+        if let Some(lineage) = reconstruct_route(&trace, &nodes) {
+            let hops: Vec<HopProvenance> = lineage
+                .hops
+                .iter()
+                .map(|e| HopProvenance {
+                    from: e.from().expect("hop entries are deliveries").0,
+                    to: e.node.0,
+                    tunneled: e.channel() == Some(TraceChannel::Tunnel),
+                    event: Some(e.id),
+                    cause: e.cause,
+                })
+                .collect();
+            explanation.set_provenance(i, hops, lineage.depth as u64);
+        }
+    }
+
+    let mut meta = FlightMeta::new(&spec.topology.label(), spec.protocol.label(), run_seed);
+    meta.nodes = plan.topology.len() as u64;
+    meta.src = src.0;
+    meta.dst = dst.0;
+    meta.attacker_pairs = active
+        .iter()
+        .map(|&i| {
+            let p = plan.attacker_pairs[i];
+            (p.a.0, p.b.0)
+        })
+        .collect();
+    meta.dropped = trace.dropped();
+
+    let mut recording = FlightRecording::new(meta);
+    recording.entries = trace.entries().to_vec();
+    recording.spans = tel.drain();
+    recording.snapshot = Some(tel.snapshot());
+    recording.explanation = Some(explanation.to_value());
+    (recording, explanation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TopologyKind;
+
+    #[test]
+    fn recorded_wormhole_run_explains_the_attack_link() {
+        let spec = ScenarioSpec::attacked(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let (recording, explanation) = record_flight(&spec, 0, &FlightOptions::default());
+
+        // The explainer names the attacker-pair link as most frequent.
+        let pair = recording.meta.attacker_pairs[0];
+        let expected = (pair.0.min(pair.1), pair.0.max(pair.1));
+        assert_eq!(
+            explanation.suspect_link,
+            Some(expected),
+            "suspect must be the attacker pair: {explanation:?}"
+        );
+        assert!(explanation.anomalous, "wormhole run must be flagged");
+
+        // At least one explained route's lineage crossed the tunnel.
+        assert!(
+            explanation.routes.iter().any(|r| r.tunnel_hops > 0),
+            "no explained route shows a tunnel traversal"
+        );
+        assert!(explanation.tunnel_traversals > 0);
+
+        // The recording itself is coherent: causal entries present,
+        // non-trivial lineage depth, engine spans captured.
+        assert!(!recording.entries.is_empty());
+        assert!(recording.trace().max_lineage_depth() > 1);
+        assert!(recording.snapshot.is_some());
+        assert!(recording.explanation.is_some());
+    }
+
+    #[test]
+    fn normal_run_is_not_flagged() {
+        let spec = ScenarioSpec::normal(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let (recording, explanation) = record_flight(&spec, 0, &FlightOptions::default());
+        assert!(!explanation.anomalous, "{explanation:?}");
+        assert_eq!(recording.meta.attacker_pairs, vec![]);
+        let summary = sam_flight::FlightSummary::from_recording(&recording);
+        assert_eq!(summary.tunnel, 0, "no tunnel without an attacker");
+    }
+}

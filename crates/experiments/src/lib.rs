@@ -39,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod flight;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -95,6 +96,7 @@ pub fn run_experiment(id: &str, runs: u64) -> Option<Vec<Table>> {
 
 /// One-stop imports for experiment users.
 pub mod prelude {
+    pub use crate::flight::{record_flight, FlightOptions};
     pub use crate::report::{Cell, Table};
     pub use crate::runner::{
         build_plan, default_jobs, mean_of, run_once, run_once_configured, run_once_with_routes,

@@ -1,0 +1,39 @@
+//! # sam-flight — the causal flight recorder
+//!
+//! A *flight recording* is everything one simulated detection run leaves
+//! behind for post-mortem analysis: the engine's causal packet trace
+//! (every delivery and timer, each linked to the event that caused it),
+//! the `sam-telemetry` spans that timed the run, the final metrics
+//! snapshot, and — when the SAM explainer ran — the verdict
+//! [`Explanation`](https://en.wikipedia.org/wiki/Explainable_artificial_intelligence)
+//! as an opaque JSON document.
+//!
+//! The pieces:
+//!
+//! * [`record`] — the [`FlightRecording`] container and its JSONL
+//!   serialization (one kind-discriminated object per line, mixing
+//!   `"packet"` lines with the telemetry stream's `"span"`/`"snapshot"`
+//!   lines, so one file tells the whole story).
+//! * [`lineage`] — offline route provenance: given a recorded trace and a
+//!   discovered route, reconstruct the exact chain of deliveries (RREQ
+//!   rebroadcasts, tunnel crossings) that produced it.
+//! * [`summary`] — one-screen [`FlightSummary`] statistics plus a
+//!   recording-vs-recording diff.
+//! * [`chrome`] — export a recording as Chrome trace-event JSON viewable
+//!   in Perfetto / `chrome://tracing`.
+//!
+//! The `sam-trace` CLI in `sam-experiments` is a thin shell over these
+//! modules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod lineage;
+pub mod record;
+pub mod summary;
+
+pub use chrome::chrome_trace;
+pub use lineage::{reconstruct_route, RouteLineage};
+pub use record::{FlightMeta, FlightRecording};
+pub use summary::{diff_summaries, FlightSummary};

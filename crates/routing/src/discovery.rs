@@ -85,6 +85,22 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
         &self.net
     }
 
+    /// Mutable access to the underlying network (trace control, loss, …).
+    pub fn network_mut(&mut self) -> &mut Network<RoutingMsg> {
+        &mut self.net
+    }
+
+    /// Start recording the causal flight trace (see
+    /// [`Network::enable_trace`]); `capacity` bounds the buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.net.enable_trace(capacity);
+    }
+
+    /// Stop tracing and take the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<manet_sim::Trace> {
+        self.net.take_trace()
+    }
+
     /// Set the channel loss probability for all subsequent traffic (see
     /// [`Network::set_loss_prob`]).
     pub fn set_loss_prob(&mut self, p: f64) {

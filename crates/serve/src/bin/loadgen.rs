@@ -6,15 +6,16 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--workers N] [--batch N] [--queue N]
-//!         [--attacked-pct P] [--json PATH] [--telemetry PATH]
+//!         [--attacked-pct P] [--explain] [--json PATH] [--telemetry PATH]
 //! ```
 //!
 //! The final summary is one [`LoadgenSummary`] built from the service's
 //! telemetry registry snapshot — stdout and `--json PATH` render the same
 //! struct, so they cannot disagree. CI uses the JSON to track serving
-//! throughput over time (`BENCH_serve.json`). `--telemetry PATH`
-//! additionally installs the process-global collector and writes every
-//! worker-batch span plus the snapshot as JSONL.
+//! throughput over time (`BENCH_serve.json`); its wall-time + snapshot
+//! core is the same [`BenchReport`] shape `reproduce --bench` writes.
+//! `--telemetry PATH` additionally installs the process-global collector
+//! and writes every worker-batch span plus the snapshot as JSONL.
 
 use manet_routing::{ProtocolKind, Route};
 use sam::NormalProfile;
@@ -22,7 +23,7 @@ use sam_experiments::prelude::{derive_seed, ScenarioSpec, TopologyKind};
 use sam_experiments::runner::run_once_with_routes;
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
-use sam_telemetry::{report::write_jsonl, RegistrySnapshot, Telemetry};
+use sam_telemetry::{report::write_jsonl, BenchReport, RegistrySnapshot, Telemetry};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,6 +42,7 @@ struct Args {
     batch: usize,
     queue: usize,
     attacked_pct: u32,
+    explain: bool,
     json: Option<String>,
     telemetry: Option<String>,
 }
@@ -53,6 +55,7 @@ impl Default for Args {
             batch: 32,
             queue: 256,
             attacked_pct: 30,
+            explain: false,
             json: None,
             telemetry: None,
         }
@@ -93,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--attacked-pct must be 0..=100".into());
                 }
             }
+            "--explain" => args.explain = true,
             "--json" => args.json = Some(value("--json")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--help" | "-h" => {
@@ -104,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                      --batch N         max requests drained per worker wake (default 32)\n  \
                      --queue N         per-shard queue capacity (default 256)\n  \
                      --attacked-pct P  percent of traffic from attacked scenarios (default 30)\n  \
+                     --explain         attach verdict explanations to every response\n  \
                      --json PATH       write the summary as JSON\n  \
                      --telemetry PATH  write batch spans + metrics snapshot as JSONL"
                 );
@@ -155,24 +160,6 @@ fn profile_source() -> ProfileSource {
     })
 }
 
-/// The final summary, assembled once from the service's registry snapshot
-/// plus the client-side counters. Stdout and `--json` render this same
-/// struct, so the two outputs cannot disagree.
-#[derive(serde::Serialize)]
-struct LoadgenSummary {
-    requests: u64,
-    completed: u64,
-    shed: u64,
-    /// Accepted requests whose response never came back (always 0 unless
-    /// the response accounting is broken).
-    dropped_responses: u64,
-    confirmed: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    wall_s: f64,
-    metrics: MetricsReport,
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -218,6 +205,7 @@ fn main() -> ExitCode {
             z_threshold: 2.5,
             ..sam::SamConfig::default()
         },
+        explain: args.explain,
         ..ServiceConfig::default()
     };
     eprintln!(
@@ -243,20 +231,27 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let mut pending: Vec<Pending> = Vec::with_capacity(1024);
     let mut shed = 0u64;
-    let mut completed = 0u64;
-    let mut confirmed = 0u64;
-    let mut responded_ids = 0u64;
 
-    let drain = |pending: &mut Vec<Pending>,
-                 completed: &mut u64,
-                 confirmed: &mut u64,
-                 responded_ids: &mut u64| {
+    /// Client-side response tallies, advanced each drain.
+    #[derive(Default)]
+    struct Tally {
+        completed: u64,
+        confirmed: u64,
+        explained: u64,
+        responded_ids: u64,
+    }
+    let mut tally = Tally::default();
+
+    let drain = |pending: &mut Vec<Pending>, tally: &mut Tally| {
         for p in pending.drain(..) {
             let resp = p.wait();
-            *completed += 1;
-            *responded_ids ^= resp.id;
+            tally.completed += 1;
+            tally.responded_ids ^= resp.id;
             if resp.verdict.confirmed {
-                *confirmed += 1;
+                tally.confirmed += 1;
+            }
+            if resp.explanation.is_some() {
+                tally.explained += 1;
             }
         }
     };
@@ -280,12 +275,7 @@ fn main() -> ExitCode {
                     // Cap the in-flight window so the generator exerts
                     // real backpressure instead of buffering every handle.
                     if pending.len() >= 1024 {
-                        drain(
-                            &mut pending,
-                            &mut completed,
-                            &mut confirmed,
-                            &mut responded_ids,
-                        );
+                        drain(&mut pending, &mut tally);
                     }
                     break;
                 }
@@ -293,12 +283,7 @@ fn main() -> ExitCode {
                     // Closed-loop client: absorb the overload signal by
                     // draining in-flight responses, then retry once.
                     retried = true;
-                    drain(
-                        &mut pending,
-                        &mut completed,
-                        &mut confirmed,
-                        &mut responded_ids,
-                    );
+                    drain(&mut pending, &mut tally);
                 }
                 Err(SubmitError::Rejected { .. }) => {
                     shed += 1;
@@ -311,12 +296,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    drain(
-        &mut pending,
-        &mut completed,
-        &mut confirmed,
-        &mut responded_ids,
-    );
+    drain(&mut pending, &mut tally);
     let elapsed = start.elapsed();
 
     let report = service.metrics().report(service.queue_depth());
@@ -325,48 +305,26 @@ fn main() -> ExitCode {
 
     let accepted = args.requests - shed;
     let summary = LoadgenSummary {
+        kind: "loadgen_summary".to_string(),
         requests: args.requests,
-        completed,
+        completed: tally.completed,
         shed,
-        dropped_responses: accepted.saturating_sub(completed),
-        confirmed,
-        cache_hits: snapshot.counter("serve.cache_hits"),
-        cache_misses: snapshot.counter("serve.cache_misses"),
-        wall_s: elapsed.as_secs_f64(),
+        dropped_responses: accepted.saturating_sub(tally.completed),
+        confirmed: tally.confirmed,
+        explained: tally.explained,
+        bench: BenchReport::new("loadgen", elapsed.as_secs_f64(), snapshot.clone()),
         metrics: report,
     };
 
-    println!(
-        "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, {} dropped responses, {} confirmed attacks)",
-        summary.requests,
-        summary.wall_s,
-        summary.completed as f64 / summary.wall_s,
-        summary.completed,
-        summary.shed,
-        summary.dropped_responses,
-        summary.confirmed
-    );
-    println!(
-        "profile cache: {} hits / {} misses",
-        summary.cache_hits, summary.cache_misses
-    );
-    println!("{}", summary.metrics);
+    println!("{summary}");
 
     let mut failed = false;
     if let Some(path) = &args.json {
-        match serde_json::to_string_pretty(&summary) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("loadgen: writing {path}: {e}");
-                    failed = true;
-                } else {
-                    eprintln!("loadgen: wrote {path}");
-                }
-            }
-            Err(e) => {
-                eprintln!("loadgen: serializing summary: {e}");
-                failed = true;
-            }
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("loadgen: writing {path}: {e}");
+            failed = true;
+        } else {
+            eprintln!("loadgen: wrote {path}");
         }
     }
     if let (Some(tel), Some(path)) = (telemetry, &args.telemetry) {
@@ -384,10 +342,10 @@ fn main() -> ExitCode {
     }
 
     // Every accepted request must have produced exactly one response.
-    if responded_ids != submitted_ids || completed + shed != args.requests {
+    if tally.responded_ids != submitted_ids || tally.completed + shed != args.requests {
         eprintln!(
-            "loadgen: RESPONSE ACCOUNTING BROKEN: {completed} completed + {shed} shed != {} submitted",
-            args.requests
+            "loadgen: RESPONSE ACCOUNTING BROKEN: {} completed + {shed} shed != {} submitted",
+            tally.completed, args.requests
         );
         return ExitCode::FAILURE;
     }

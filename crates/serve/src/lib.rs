@@ -40,6 +40,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod report;
 pub mod request;
 pub mod service;
 
@@ -47,6 +48,7 @@ pub mod service;
 pub mod prelude {
     pub use crate::cache::ProfileCache;
     pub use crate::metrics::{MetricsReport, ServiceMetrics};
+    pub use crate::report::LoadgenSummary;
     pub use crate::request::{
         DetectionRequest, DetectionResponse, ProfileKey, SubmitError, Verdict,
     };

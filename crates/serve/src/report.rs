@@ -1,0 +1,137 @@
+//! The loadgen run summary — one serde model shared by stdout, `--json`
+//! (`BENCH_serve.json` in CI), and anything downstream that parses it.
+//!
+//! The wall-time + registry-snapshot core is a [`BenchReport`], the same
+//! struct `reproduce --bench` emits, so serving and reproduction
+//! benchmarks parse identically.
+
+use crate::metrics::MetricsReport;
+use sam_telemetry::BenchReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The final summary of one loadgen run, assembled once from the
+/// service's registry snapshot plus the client-side counters. Stdout and
+/// `--json` render this same struct, so the two outputs cannot disagree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadgenSummary {
+    /// Line discriminator, `"loadgen_summary"`.
+    pub kind: String,
+    /// Requests the generator attempted to submit.
+    pub requests: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Accepted requests whose response never came back (always 0 unless
+    /// the response accounting is broken).
+    pub dropped_responses: u64,
+    /// Responses with a confirmed-attack verdict.
+    pub confirmed: u64,
+    /// Responses carrying a verdict explanation (`--explain` runs).
+    pub explained: u64,
+    /// Wall time + final registry snapshot, in the same shape as
+    /// `reproduce --bench` output.
+    pub bench: BenchReport,
+    /// Service-side throughput/latency metrics.
+    pub metrics: MetricsReport,
+}
+
+impl LoadgenSummary {
+    /// Profile-cache hits, read off the embedded snapshot.
+    pub fn cache_hits(&self) -> u64 {
+        self.bench.snapshot.counter("serve.cache_hits")
+    }
+
+    /// Profile-cache misses, read off the embedded snapshot.
+    pub fn cache_misses(&self) -> u64 {
+        self.bench.snapshot.counter("serve.cache_misses")
+    }
+
+    /// The summary as pretty JSON (the `BENCH_serve.json` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("loadgen summary serializes")
+    }
+}
+
+impl fmt::Display for LoadgenSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, \
+             {} dropped responses, {} confirmed attacks)",
+            self.requests,
+            self.bench.wall_s,
+            self.completed as f64 / self.bench.wall_s,
+            self.completed,
+            self.shed,
+            self.dropped_responses,
+            self.confirmed
+        )?;
+        if self.explained > 0 {
+            writeln!(f, "explained responses: {}", self.explained)?;
+        }
+        writeln!(
+            f,
+            "profile cache: {} hits / {} misses",
+            self.cache_hits(),
+            self.cache_misses()
+        )?;
+        write!(f, "{}", self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_telemetry::Registry;
+
+    fn sample() -> LoadgenSummary {
+        let registry = Registry::default();
+        registry.counter("serve.cache_hits").add(7);
+        registry.counter("serve.cache_misses").add(3);
+        LoadgenSummary {
+            kind: "loadgen_summary".to_string(),
+            requests: 100,
+            completed: 98,
+            shed: 2,
+            dropped_responses: 0,
+            confirmed: 30,
+            explained: 98,
+            bench: BenchReport::new("loadgen", 1.25, registry.snapshot()),
+            metrics: MetricsReport {
+                submitted: 98,
+                rejected: 2,
+                completed: 98,
+                queue_depth: 0,
+                throughput_rps: 78.4,
+                batches: 10,
+                mean_batch: 9.8,
+                batch_hist: vec![(8, 2), (10, 8)],
+                p50_us: 120,
+                p90_us: 300,
+                p99_us: 900,
+            },
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_and_reads_snapshot_counters() {
+        let s = sample();
+        assert_eq!(s.cache_hits(), 7);
+        assert_eq!(s.cache_misses(), 3);
+        let json = s.to_json();
+        let back: LoadgenSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests, 100);
+        assert_eq!(back.bench.name, "loadgen");
+        assert_eq!(back.cache_hits(), 7);
+    }
+
+    #[test]
+    fn display_reports_throughput_and_cache() {
+        let text = sample().to_string();
+        assert!(text.contains("100 requests"), "{text}");
+        assert!(text.contains("7 hits / 3 misses"), "{text}");
+        assert!(text.contains("explained responses: 98"), "{text}");
+    }
+}

@@ -121,6 +121,11 @@ pub struct DetectionResponse {
     /// for this request (`false`). Diagnostic; excluded from the
     /// determinism contract.
     pub profile_cache_hit: bool,
+    /// The verdict explanation (suspect link, per-route leave-one-out
+    /// contributions), when the service runs with
+    /// [`ServiceConfig::explain`](crate::service::ServiceConfig) on.
+    /// Deterministic in the request contents, like the verdict.
+    pub explanation: Option<sam::Explanation>,
 }
 
 /// Why a submission was not accepted.

@@ -50,6 +50,11 @@ pub struct ServiceConfig {
     pub detector: SamConfig,
     /// Three-step procedure configuration.
     pub procedure: ProcedureConfig,
+    /// Attach a verdict [`Explanation`](sam::Explanation) to every
+    /// response (suspect link, per-route leave-one-out contributions).
+    /// Off by default: explanations re-run the step-1 analysis and grow
+    /// responses considerably.
+    pub explain: bool,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +68,7 @@ impl Default for ServiceConfig {
             cache_capacity: 16,
             detector: SamConfig::default(),
             procedure: ProcedureConfig::default(),
+            explain: false,
         }
     }
 }
@@ -160,6 +166,7 @@ impl DetectionService {
                 rx,
                 max_batch: cfg.max_batch,
                 procedure: Procedure::new(SamDetector::new(cfg.detector), cfg.procedure),
+                explainer: cfg.explain.then(|| SamDetector::new(cfg.detector)),
                 cache: cache.clone(),
                 metrics: metrics.clone(),
                 profiles: profiles.clone(),
@@ -263,6 +270,9 @@ struct Worker {
     rx: Receiver<Job>,
     max_batch: usize,
     procedure: Procedure,
+    /// Present when [`ServiceConfig::explain`] is on: a detector used to
+    /// re-run the step-1 analysis for the response's explanation.
+    explainer: Option<SamDetector>,
     cache: Arc<ProfileCache>,
     metrics: Arc<ServiceMetrics>,
     profiles: ProfileSource,
@@ -317,6 +327,14 @@ impl Worker {
             .procedure
             .execute(&request.routes, &profile, &mut transport);
 
+        // Explanations are deterministic in (routes, profile) — like the
+        // verdict itself — so attaching them keeps the determinism
+        // contract intact.
+        let explanation = self.explainer.as_ref().map(|d| {
+            let analysis = d.analyze(&request.routes, &profile);
+            sam::Explanation::from_analysis(&request.routes, &analysis)
+        });
+
         // Count before waking the caller, so a metrics snapshot taken the
         // instant `wait` returns already includes this response.
         self.metrics.record_completed(accepted_at.elapsed());
@@ -324,6 +342,7 @@ impl Worker {
             id: request.id,
             verdict: Verdict::from_outcome(&outcome),
             profile_cache_hit: cache_hit,
+            explanation,
         });
     }
 }

@@ -162,6 +162,50 @@ fn profile_cache_accounts_hits_and_misses() {
 }
 
 #[test]
+fn explain_flag_attaches_explanations_that_name_the_wormhole() {
+    let cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 4,
+        cache_capacity: 8,
+        detector: SamConfig {
+            z_threshold: 1.5,
+            ..SamConfig::default()
+        },
+        explain: true,
+        ..ServiceConfig::default()
+    };
+    let service = DetectionService::start(cfg, synthetic_profiles());
+    let requests = request_mix(24);
+    let pending: Vec<Pending> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).expect("queue is large enough"))
+        .collect();
+    let responses: Vec<DetectionResponse> = pending.into_iter().map(Pending::wait).collect();
+    service.shutdown();
+
+    for resp in &responses {
+        let ex = resp
+            .explanation
+            .as_ref()
+            .expect("explain mode attaches an explanation to every response");
+        let attacked = resp.id % 3 == 0;
+        if attacked {
+            assert_eq!(
+                ex.suspect_link,
+                Some((20, 21)),
+                "explanation must name the planted wormhole link"
+            );
+            assert!(
+                ex.routes.iter().all(|r| r.p_max_contribution >= 0.0) && !ex.routes.is_empty(),
+                "suspect-crossing routes with contributions: {ex:?}"
+            );
+        }
+        assert_eq!(ex.anomalous, resp.verdict.anomalous);
+    }
+}
+
+#[test]
 fn full_queue_sheds_with_rejected_and_never_deadlocks() {
     // Gate the profile source so the single worker wedges on its first
     // request until we release it — queues fill deterministically.

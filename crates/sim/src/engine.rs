@@ -68,6 +68,11 @@ pub struct Network<M> {
     loss_prob: f64,
     max_events: u64,
     trace: Option<Trace>,
+    /// Lineage id of the event currently being dispatched; everything a
+    /// behaviour schedules while handling it is stamped as its causal
+    /// child. `None` outside the run loop, so harness scheduling
+    /// (timers, injections) produces causal roots.
+    current_cause: Option<u64>,
     /// Telemetry context recorded into by `run` (events dispatched, queue
     /// high-water mark, one span per run). Captured from the process
     /// global at construction; `None` keeps the hot path untouched.
@@ -89,6 +94,7 @@ impl<M: Clone + Debug> Network<M> {
             loss_prob: 0.0,
             max_events: 20_000_000,
             trace: None,
+            current_cause: None,
             telemetry: sam_telemetry::global(),
         }
     }
@@ -227,6 +233,8 @@ impl<M: Clone + Debug> Network<M> {
             if telemetry.is_some() {
                 queue_hwm = queue_hwm.max(self.queue.len());
             }
+            // Everything the handler schedules descends from this event.
+            self.current_cause = Some(ev.seq);
             match ev.kind {
                 EventKind::Deliver {
                     to,
@@ -240,6 +248,8 @@ impl<M: Clone + Debug> Network<M> {
                     }
                     if let Some(trace) = &mut self.trace {
                         trace.record(TraceEntry {
+                            id: ev.seq,
+                            cause: ev.cause,
                             at: ev.at,
                             node: to,
                             kind: TraceKind::Deliver {
@@ -258,6 +268,8 @@ impl<M: Clone + Debug> Network<M> {
                 EventKind::Timer { node, key } => {
                     if let Some(trace) = &mut self.trace {
                         trace.record(TraceEntry {
+                            id: ev.seq,
+                            cause: ev.cause,
                             at: ev.at,
                             node,
                             kind: TraceKind::Timer { key },
@@ -269,10 +281,20 @@ impl<M: Clone + Debug> Network<M> {
                 }
             }
         }
+        self.current_cause = None;
         if let Some(t) = &telemetry {
             let registry = t.registry();
             registry.counter("sim.events_dispatched").add(processed);
             registry.gauge("sim.queue_hwm").record_max(queue_hwm as u64);
+            // The flight recorder's loss signal: entries the bounded
+            // trace could not hold. Surfaced in every exported snapshot
+            // so a truncated recording is never mistaken for a complete
+            // one.
+            if let Some(trace) = &self.trace {
+                registry
+                    .gauge("sim.trace_dropped")
+                    .record_max(trace.dropped());
+            }
             if let Some(span) = &mut span {
                 span.field("events", processed);
                 span.field("end_us", self.now.as_micros());
@@ -297,6 +319,18 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
     /// The node this event was dispatched to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Lineage id of the event currently being handled. Everything this
+    /// behaviour schedules is recorded as a causal child of this id, and
+    /// the matching [`TraceEntry`](crate::trace::TraceEntry) (when tracing
+    /// is on) carries the same id — letting protocol layers associate
+    /// their own artefacts (a recorded route, a cache entry) with the
+    /// packet provenance in the flight recorder.
+    pub fn event_id(&self) -> u64 {
+        self.net
+            .current_cause
+            .expect("Ctx only exists while an event is being dispatched")
     }
 
     /// Current simulated time.
@@ -355,7 +389,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
             if self.net.lost() {
                 continue;
             }
-            self.net.queue.schedule(
+            self.net.queue.schedule_caused(
                 self.net.now + lat,
                 EventKind::Deliver {
                     to: v,
@@ -363,6 +397,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                     channel: Channel::Broadcast,
                     msg: msg.clone(),
                 },
+                self.net.current_cause,
             );
         }
     }
@@ -385,7 +420,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
         if self.net.lost() {
             return;
         }
-        self.net.queue.schedule(
+        self.net.queue.schedule_caused(
             self.net.now + lat,
             EventKind::Deliver {
                 to,
@@ -393,6 +428,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                 channel: Channel::Unicast,
                 msg,
             },
+            self.net.current_cause,
         );
     }
 
@@ -402,7 +438,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
     /// model).
     pub fn tunnel(&mut self, to: NodeId, latency: SimDuration, msg: M) {
         self.net.metrics.node_mut(self.node).tunnel_tx += 1;
-        self.net.queue.schedule(
+        self.net.queue.schedule_caused(
             self.net.now + latency,
             EventKind::Deliver {
                 to,
@@ -410,17 +446,19 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                 channel: Channel::Tunnel,
                 msg,
             },
+            self.net.current_cause,
         );
     }
 
     /// Fire `on_timer(key)` at this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
-        self.net.queue.schedule(
+        self.net.queue.schedule_caused(
             self.net.now + delay,
             EventKind::Timer {
                 node: self.node,
                 key,
             },
+            self.net.current_cause,
         );
     }
 }

@@ -46,13 +46,17 @@ pub enum EventKind<M> {
     },
 }
 
-/// An event plus its firing time and tie-break sequence.
+/// An event plus its firing time, tie-break sequence, and causal parent.
 #[derive(Clone, Debug)]
 pub struct Event<M> {
     /// Firing time.
     pub at: SimTime,
-    /// Scheduling sequence number (tie-break).
+    /// Scheduling sequence number (tie-break). Doubles as the event's
+    /// lineage id: unique per queue, so traces can link effects to causes.
     pub seq: u64,
+    /// Lineage id (`seq`) of the event during whose handling this one was
+    /// scheduled; `None` for harness-scheduled roots.
+    pub cause: Option<u64>,
     /// What happens.
     pub kind: EventKind<M>,
 }
@@ -104,12 +108,24 @@ impl<M> EventQueue<M> {
         }
     }
 
-    /// Schedule `kind` at absolute time `at`.
+    /// Schedule `kind` at absolute time `at` as a causal root.
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
+        self.schedule_caused(at, kind, None);
+    }
+
+    /// Schedule `kind` at absolute time `at`, recording the lineage id of
+    /// the event that caused it (the engine passes the id of the event
+    /// currently being dispatched).
+    pub fn schedule_caused(&mut self, at: SimTime, kind: EventKind<M>, cause: Option<u64>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.heap.push(Event {
+            at,
+            seq,
+            cause,
+            kind,
+        });
     }
 
     /// Remove and return the earliest event, if any.
@@ -172,6 +188,15 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cause_rides_with_the_event() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime(1), timer(0, 0));
+        q.schedule_caused(SimTime(2), timer(0, 1), Some(0));
+        assert_eq!(q.pop().unwrap().cause, None);
+        assert_eq!(q.pop().unwrap().cause, Some(0));
     }
 
     #[test]

@@ -1,15 +1,27 @@
-//! Structural event tracing.
+//! Structural event tracing — the causal flight recorder.
 //!
 //! When enabled on a [`Network`](crate::engine::Network), every dispatched
 //! event is recorded *structurally* — time, node, channel, peers — without
 //! cloning message payloads, so tracing stays cheap enough for tests and
 //! post-mortem analysis of whole discoveries (e.g. verifying the flood
 //! wavefront ordering, or counting how often a tunnel fired).
+//!
+//! Beyond the flat log, every entry carries **causal lineage**: its own
+//! event id plus the id of the event during whose handling it was
+//! scheduled (`cause`). A rebroadcast RREQ's delivery points at the
+//! reception that triggered it, a wormhole's egress points at its tunnel
+//! ingress, and an RREP hop points at the previous hop — so the full
+//! flood-to-verdict provenance of any packet is a walk up the `cause`
+//! chain ([`Trace::lineage`]). Causes always refer to *earlier* dispatched
+//! events (you can only schedule from inside a handler), which makes the
+//! causal graph acyclic by construction; the lineage property test pins
+//! this.
 
 use crate::event::Channel;
 use crate::ids::NodeId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// What kind of event was dispatched.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -49,9 +61,16 @@ impl From<Channel> for TraceChannel {
     }
 }
 
-/// One dispatched event.
+/// One dispatched event, with causal lineage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct TraceEntry {
+    /// This event's id (the engine's scheduling sequence number — unique
+    /// per network, but *not* monotone in dispatch order, since a later
+    /// scheduling can fire earlier).
+    pub id: u64,
+    /// Id of the event during whose handling this one was scheduled;
+    /// `None` for roots (harness-scheduled timers and injections).
+    pub cause: Option<u64>,
     /// When the event fired.
     pub at: SimTime,
     /// The node it was dispatched to.
@@ -60,8 +79,27 @@ pub struct TraceEntry {
     pub kind: TraceKind,
 }
 
-/// A bounded trace buffer. When full, further entries are counted but
-/// dropped (the capacity bound keeps long runs from ballooning).
+impl TraceEntry {
+    /// The delivery channel, if this entry is a delivery.
+    pub fn channel(&self) -> Option<TraceChannel> {
+        match self.kind {
+            TraceKind::Deliver { channel, .. } => Some(channel),
+            TraceKind::Timer { .. } => None,
+        }
+    }
+
+    /// The sending node, if this entry is a delivery.
+    pub fn from(&self) -> Option<NodeId> {
+        match self.kind {
+            TraceKind::Deliver { from, .. } => Some(from),
+            TraceKind::Timer { .. } => None,
+        }
+    }
+}
+
+/// A bounded trace buffer. When full, further entries are counted in
+/// [`Trace::dropped`] but not stored (the capacity bound keeps long runs
+/// from ballooning).
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
@@ -76,6 +114,18 @@ impl Trace {
             entries: Vec::new(),
             capacity,
             dropped: 0,
+        }
+    }
+
+    /// Rebuild a trace from previously recorded entries (e.g. a flight
+    /// recording loaded from disk), so the lineage queries work offline.
+    /// `dropped` restores the original run's overflow count.
+    pub fn from_entries(entries: Vec<TraceEntry>, dropped: u64) -> Self {
+        let capacity = entries.len();
+        Trace {
+            entries,
+            capacity,
+            dropped,
         }
     }
 
@@ -115,15 +165,7 @@ impl Trace {
     pub fn tunnel_deliveries(&self) -> usize {
         self.entries
             .iter()
-            .filter(|e| {
-                matches!(
-                    e.kind,
-                    TraceKind::Deliver {
-                        channel: TraceChannel::Tunnel,
-                        ..
-                    }
-                )
-            })
+            .filter(|e| e.channel() == Some(TraceChannel::Tunnel))
             .count()
     }
 
@@ -131,29 +173,104 @@ impl Trace {
     pub fn first_delivery_at(&self, node: NodeId) -> Option<SimTime> {
         self.deliveries_to(node).map(|e| e.at).next()
     }
+
+    /// The entry with event id `id`, if recorded.
+    pub fn entry(&self, id: u64) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// The causal chain of event `id`, from the event itself back to its
+    /// root, child first. Empty when `id` was never recorded; the chain
+    /// stops early if an ancestor fell past the capacity bound.
+    pub fn lineage(&self, id: u64) -> Vec<TraceEntry> {
+        let by_id: HashMap<u64, &TraceEntry> = self.entries.iter().map(|e| (e.id, e)).collect();
+        let mut chain = Vec::new();
+        let mut cursor = Some(id);
+        // Causes always precede their children in dispatch order, so the
+        // chain cannot cycle; the bound is pure defence against a
+        // corrupted (hand-built) trace.
+        while let Some(cur) = cursor {
+            let Some(entry) = by_id.get(&cur) else { break };
+            chain.push(**entry);
+            cursor = entry.cause;
+            if chain.len() > self.entries.len() {
+                break;
+            }
+        }
+        chain
+    }
+
+    /// Length of the causal chain of `id` (0 when unknown).
+    pub fn lineage_depth(&self, id: u64) -> usize {
+        self.lineage(id).len()
+    }
+
+    /// Tunnel deliveries on the causal chain of `id` — how many times the
+    /// packet's provenance crossed a wormhole.
+    pub fn tunnel_traversals(&self, id: u64) -> usize {
+        self.lineage(id)
+            .iter()
+            .filter(|e| e.channel() == Some(TraceChannel::Tunnel))
+            .count()
+    }
+
+    /// The longest causal chain over all recorded entries. Single pass:
+    /// a cause is always dispatched (hence recorded) before its children,
+    /// so each entry's depth is its cause's depth plus one.
+    pub fn max_lineage_depth(&self) -> usize {
+        let mut depth: HashMap<u64, usize> = HashMap::with_capacity(self.entries.len());
+        let mut max = 0usize;
+        for e in &self.entries {
+            let d = e
+                .cause
+                .and_then(|c| depth.get(&c).copied())
+                .map_or(1, |p| p + 1);
+            depth.insert(e.id, d);
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Recorded roots: entries with no recorded cause (harness timers,
+    /// injections, or children of dropped ancestors).
+    pub fn roots(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(|e| e.cause.is_none())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn deliver(at: u64, node: u32, from: u32, channel: TraceChannel) -> TraceEntry {
+    fn deliver(id: u64, cause: Option<u64>, at: u64, node: u32, from: u32) -> TraceEntry {
         TraceEntry {
+            id,
+            cause,
             at: SimTime(at),
             node: NodeId(node),
             kind: TraceKind::Deliver {
                 from: NodeId(from),
-                channel,
+                channel: TraceChannel::Broadcast,
             },
+        }
+    }
+
+    fn tunnel(id: u64, cause: Option<u64>, at: u64, node: u32, from: u32) -> TraceEntry {
+        TraceEntry {
+            kind: TraceKind::Deliver {
+                from: NodeId(from),
+                channel: TraceChannel::Tunnel,
+            },
+            ..deliver(id, cause, at, node, from)
         }
     }
 
     #[test]
     fn records_up_to_capacity_then_counts_drops() {
         let mut t = Trace::with_capacity(2);
-        t.record(deliver(1, 0, 1, TraceChannel::Broadcast));
-        t.record(deliver(2, 0, 1, TraceChannel::Broadcast));
-        t.record(deliver(3, 0, 1, TraceChannel::Broadcast));
+        t.record(deliver(0, None, 1, 0, 1));
+        t.record(deliver(1, Some(0), 2, 0, 1));
+        t.record(deliver(2, Some(1), 3, 0, 1));
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.dropped(), 1);
         t.clear();
@@ -164,10 +281,12 @@ mod tests {
     #[test]
     fn filters_by_node_and_channel() {
         let mut t = Trace::with_capacity(10);
-        t.record(deliver(1, 5, 1, TraceChannel::Broadcast));
-        t.record(deliver(2, 5, 2, TraceChannel::Tunnel));
-        t.record(deliver(3, 6, 1, TraceChannel::Tunnel));
+        t.record(deliver(0, None, 1, 5, 1));
+        t.record(tunnel(1, Some(0), 2, 5, 2));
+        t.record(tunnel(2, Some(1), 3, 6, 1));
         t.record(TraceEntry {
+            id: 3,
+            cause: None,
             at: SimTime(4),
             node: NodeId(5),
             kind: TraceKind::Timer { key: 9 },
@@ -176,5 +295,42 @@ mod tests {
         assert_eq!(t.tunnel_deliveries(), 2);
         assert_eq!(t.first_delivery_at(NodeId(5)), Some(SimTime(1)));
         assert_eq!(t.first_delivery_at(NodeId(9)), None);
+    }
+
+    #[test]
+    fn lineage_walks_back_to_the_root() {
+        let mut t = Trace::with_capacity(10);
+        t.record(deliver(0, None, 1, 1, 0));
+        t.record(tunnel(1, Some(0), 2, 2, 1));
+        t.record(deliver(2, Some(1), 3, 3, 2));
+        t.record(deliver(7, None, 3, 9, 8)); // unrelated root
+        let chain = t.lineage(2);
+        assert_eq!(
+            chain.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![2, 1, 0]
+        );
+        assert_eq!(t.lineage_depth(2), 3);
+        assert_eq!(t.lineage_depth(0), 1);
+        assert_eq!(t.lineage_depth(99), 0, "unknown id has no lineage");
+        assert_eq!(t.tunnel_traversals(2), 1);
+        assert_eq!(t.tunnel_traversals(0), 0);
+        assert_eq!(t.max_lineage_depth(), 3);
+        assert_eq!(t.roots().count(), 2);
+        assert_eq!(t.entry(7).unwrap().node, NodeId(9));
+    }
+
+    #[test]
+    fn lineage_stops_at_a_dropped_ancestor() {
+        let mut t = Trace::with_capacity(10);
+        // Cause 5 was never recorded (fell past capacity in a real run).
+        t.record(deliver(6, Some(5), 2, 1, 0));
+        t.record(deliver(7, Some(6), 3, 2, 1));
+        let chain = t.lineage(7);
+        assert_eq!(
+            chain.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![7, 6],
+            "chain truncates where the trace lost the ancestor"
+        );
+        assert_eq!(t.max_lineage_depth(), 2);
     }
 }

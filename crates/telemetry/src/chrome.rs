@@ -1,0 +1,118 @@
+//! Chrome trace-event conversion.
+//!
+//! Turns [`EventRecord`]s into the [Trace Event Format] objects that
+//! Perfetto / `chrome://tracing` load: spans become complete events
+//! (`"ph": "X"` with `ts`/`dur` in microseconds) and point events become
+//! instants (`"ph": "i"`). Span fields ride along in `args`.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::EventRecord;
+use serde_json::Value;
+
+/// Build a JSON object value from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Convert one record into a trace-event object on process `pid`,
+/// track `tid`.
+pub fn event_to_chrome(r: &EventRecord, pid: u64, tid: u64) -> Value {
+    let args = Value::Object(
+        r.fields
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect(),
+    );
+    let mut pairs = vec![
+        ("name", Value::Str(r.name.clone())),
+        ("cat", Value::Str("telemetry".to_string())),
+        (
+            "ph",
+            Value::Str(if r.kind == "event" { "i" } else { "X" }.to_string()),
+        ),
+        ("ts", Value::UInt(r.start_us)),
+    ];
+    if r.kind == "event" {
+        // Instants need a scope; "t" pins them to their track.
+        pairs.push(("s", Value::Str("t".to_string())));
+    } else {
+        pairs.push(("dur", Value::UInt(r.dur_us)));
+    }
+    pairs.push(("pid", Value::UInt(pid)));
+    pairs.push(("tid", Value::UInt(tid)));
+    pairs.push(("args", args));
+    obj(pairs)
+}
+
+/// Convert a whole telemetry stream onto process `pid`, track 1.
+pub fn records_to_chrome(records: &[EventRecord], pid: u64) -> Vec<Value> {
+    records.iter().map(|r| event_to_chrome(r, pid, 1)).collect()
+}
+
+/// A `process_name` metadata event, so viewers label process `pid`.
+pub fn process_name(pid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str("process_name".to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::UInt(pid)),
+        ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+    ])
+}
+
+/// Wrap trace-event objects into the top-level document
+/// (`{"traceEvents": […]}`).
+pub fn trace_document(events: Vec<Value>) -> Value {
+    obj(vec![("traceEvents", Value::Array(events))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_record() -> EventRecord {
+        EventRecord {
+            kind: "span".to_string(),
+            id: 1,
+            parent: 0,
+            name: "discovery".to_string(),
+            start_us: 100,
+            dur_us: 2_500,
+            fields: vec![("routes".to_string(), "4".to_string())],
+        }
+    }
+
+    #[test]
+    fn span_becomes_a_complete_event() {
+        let v = event_to_chrome(&span_record(), 1, 1);
+        assert_eq!(v.field("ph").and_then(Value::as_str), Some("X"));
+        assert!(matches!(v.field("dur"), Some(Value::UInt(2_500))));
+        assert!(matches!(v.field("ts"), Some(Value::UInt(100))));
+        let args = v.field("args").unwrap();
+        assert_eq!(args.field("routes").and_then(Value::as_str), Some("4"));
+    }
+
+    #[test]
+    fn point_event_becomes_an_instant() {
+        let mut r = span_record();
+        r.kind = "event".to_string();
+        r.dur_us = 0;
+        let v = event_to_chrome(&r, 1, 1);
+        assert_eq!(v.field("ph").and_then(Value::as_str), Some("i"));
+        assert!(v.field("dur").is_none());
+        assert_eq!(v.field("s").and_then(Value::as_str), Some("t"));
+    }
+
+    #[test]
+    fn document_wraps_events_and_serializes() {
+        let doc = trace_document(vec![
+            process_name(1, "telemetry"),
+            event_to_chrome(&span_record(), 1, 1),
+        ]);
+        let text = serde_json::to_string(&doc).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let events = back.field("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].field("ph").and_then(Value::as_str), Some("M"));
+    }
+}

@@ -41,12 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod registry;
 pub mod report;
 pub mod span;
 
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
-pub use report::TelemetryReport;
+pub use report::{BenchReport, TelemetryReport};
 pub use span::{EventRecord, SpanGuard};
 
 use crossbeam::channel::{unbounded, Receiver};
@@ -178,7 +179,7 @@ pub mod prelude {
     pub use crate::registry::{
         Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
     };
-    pub use crate::report::{write_jsonl, TelemetryReport};
+    pub use crate::report::{write_jsonl, BenchReport, TelemetryReport};
     pub use crate::span::{EventRecord, SpanGuard};
     pub use crate::{enabled, global, install, span, uninstall, Telemetry};
 }

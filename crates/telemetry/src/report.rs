@@ -14,6 +14,7 @@
 
 use crate::registry::RegistrySnapshot;
 use crate::span::EventRecord;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Write};
 
@@ -112,6 +113,39 @@ impl fmt::Display for TelemetryReport {
     }
 }
 
+/// A benchmark result for the CI trajectory (`BENCH_*.json`): one named
+/// run's wall time plus its final metrics snapshot, so key counters can
+/// be compared across commits with the same tooling that reads the
+/// registry. Shared by `reproduce --bench` and `loadgen --json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Line discriminator, `"bench"`.
+    pub kind: String,
+    /// Which benchmark this is (e.g. `reproduce` or `loadgen`).
+    pub name: String,
+    /// Wall-clock duration of the measured section, seconds.
+    pub wall_s: f64,
+    /// Final registry snapshot (counters/gauges/histograms).
+    pub snapshot: RegistrySnapshot,
+}
+
+impl BenchReport {
+    /// Assemble a report.
+    pub fn new(name: &str, wall_s: f64, snapshot: RegistrySnapshot) -> Self {
+        BenchReport {
+            kind: "bench".to_string(),
+            name: name.to_string(),
+            wall_s,
+            snapshot,
+        }
+    }
+
+    /// Serialize to pretty JSON (the `BENCH_*.json` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+}
+
 /// Write `records` (one line each) followed by an optional final
 /// `snapshot` line to `w` in the JSONL schema above.
 pub fn write_jsonl<W: Write>(
@@ -169,6 +203,18 @@ mod tests {
     fn empty_report_renders_placeholder() {
         let report = TelemetryReport::from_records(&[]);
         assert_eq!(report.to_string(), "telemetry: no spans recorded");
+    }
+
+    #[test]
+    fn bench_report_round_trips() {
+        let tel = crate::Telemetry::new();
+        tel.registry().counter("runs").add(3);
+        let report = BenchReport::new("reproduce", 1.25, tel.snapshot());
+        let text = report.to_json();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.kind, "bench");
+        assert_eq!(back.snapshot.counter("runs"), 3);
     }
 
     #[test]
