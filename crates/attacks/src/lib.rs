@@ -40,7 +40,7 @@ pub mod prelude {
         affected_fraction, affected_fraction_any, attack_session, run_attacked_discovery,
         run_wormholed_discovery, tunnel_link,
     };
-    pub use crate::wormhole::{DropPolicy, WormholeConfig, WormholeMode};
+    pub use crate::wormhole::{DropPolicy, TunnelPolicy, WormholeConfig, WormholeMode};
 }
 
 pub use prelude::*;

@@ -236,9 +236,15 @@ impl AttackNode {
                     // the me–peer link in recorded routes.
                     let action = self.router.handle_rreq(ctx, rreq);
                     if let RreqAction::Forwarded(extended) = action {
+                        // The seen-check comes first so the tunnel policy is
+                        // only consulted (and, for Selective, the RNG only
+                        // drawn) on copies that would actually be tunneled.
                         if seen.insert(fingerprint(&extended)) {
-                            stats.rreqs_tunneled += 1;
-                            ctx.tunnel(*peer, cfg.tunnel_latency, RoutingMsg::Rreq(extended));
+                            let now = ctx.now();
+                            if cfg.tunneling.tunnels(now, ctx.rng()) {
+                                stats.rreqs_tunneled += 1;
+                                ctx.tunnel(*peer, cfg.tunnel_latency, RoutingMsg::Rreq(extended));
+                            }
                         }
                     }
                 }
@@ -253,9 +259,16 @@ impl AttackNode {
                             }
                         }
                         _ => {
+                            // Gate only the tunnel ingress: an intermittent
+                            // attacker still replays whatever arrives from
+                            // its peer (suppressing the egress too would
+                            // just double-count the same decision).
                             if seen.insert(fp) {
-                                stats.rreqs_tunneled += 1;
-                                ctx.tunnel(*peer, cfg.tunnel_latency, RoutingMsg::Rreq(rreq));
+                                let now = ctx.now();
+                                if cfg.tunneling.tunnels(now, ctx.rng()) {
+                                    stats.rreqs_tunneled += 1;
+                                    ctx.tunnel(*peer, cfg.tunnel_latency, RoutingMsg::Rreq(rreq));
+                                }
                             }
                         }
                     }
@@ -379,6 +392,27 @@ impl AttackWiring {
         self
     }
 
+    /// Activate wormhole pairs of `plan` with *per-pair* configurations:
+    /// each `(index, cfg)` entry activates `plan.attacker_pairs[index]`
+    /// with its own config. This is how a second, independent wormhole
+    /// (possibly with a different mode or tunnel policy) is wired next to
+    /// the first.
+    pub fn from_plan_configs(
+        plan: &manet_sim::NetworkPlan,
+        configs: &[(usize, WormholeConfig)],
+    ) -> Self {
+        let mut endpoints = Vec::new();
+        for &(i, cfg) in configs {
+            let pair = plan.attacker_pairs[i];
+            endpoints.push((pair.a, pair.b, cfg));
+            endpoints.push((pair.b, pair.a, cfg));
+        }
+        AttackWiring {
+            endpoints,
+            ..AttackWiring::default()
+        }
+    }
+
     /// Activate *all* pairs of the plan.
     pub fn all_pairs(plan: &manet_sim::NetworkPlan, cfg: WormholeConfig) -> Self {
         let idx: Vec<usize> = (0..plan.attacker_pairs.len()).collect();
@@ -463,6 +497,38 @@ mod tests {
         let node = wiring.build(RouterNode::new(pair.a, RouterConfig::new(ProtocolKind::Mr)));
         assert!(node.is_attacker());
         assert!(node.router().out_of_band().is_none());
+    }
+
+    #[test]
+    fn per_pair_configs_wire_independent_wormholes() {
+        use crate::wormhole::TunnelPolicy;
+        let mut plan = uniform_grid(6, 6, 1);
+        plan.attacker_pairs.push(AttackerPair {
+            a: NodeId(0),
+            b: NodeId(35),
+        });
+        let wiring = AttackWiring::from_plan_configs(
+            &plan,
+            &[
+                (0, WormholeConfig::default()),
+                (1, WormholeConfig::selective(0.5)),
+            ],
+        );
+        let p0 = plan.attacker_pairs[0];
+        assert_eq!(
+            wiring.role_of(p0.a).map(|(_, c)| c.tunneling),
+            Some(TunnelPolicy::Always)
+        );
+        assert_eq!(
+            wiring.role_of(NodeId(35)).map(|(_, c)| c.tunneling),
+            Some(TunnelPolicy::Selective(0.5))
+        );
+        let honest = plan
+            .topology
+            .nodes()
+            .find(|&n| !plan.attacker_pairs.iter().any(|p| p.a == n || p.b == n))
+            .unwrap();
+        assert!(wiring.role_of(honest).is_none());
     }
 
     #[test]

@@ -171,6 +171,48 @@ mod tests {
     }
 
     #[test]
+    fn never_tunneling_attacker_captures_nothing() {
+        // Selective(0.0) keeps the endpoints on the network but the
+        // tunnel inert, so no route can contain the attacker link.
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        let out = run_wormholed_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            WormholeConfig::selective(0.0),
+            plan.src_pool[5],
+            plan.dst_pool[10],
+            2,
+        );
+        assert_eq!(affected_fraction(&out.routes, pair), 0.0);
+    }
+
+    #[test]
+    fn always_on_duty_cycle_matches_paper_attacker() {
+        // A duty cycle covering the whole window is the paper's attacker.
+        let plan = two_cluster(1);
+        let pair = plan.attacker_pairs[0];
+        let full = run_wormholed_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            WormholeConfig::duty_cycled(1_000, 1_000),
+            plan.src_pool[5],
+            plan.dst_pool[10],
+            2,
+        );
+        let paper = run_wormholed_discovery(
+            &plan,
+            ProtocolKind::Mr,
+            WormholeConfig::default(),
+            plan.src_pool[5],
+            plan.dst_pool[10],
+            2,
+        );
+        assert_eq!(full.routes, paper.routes);
+        assert!(affected_fraction(&full.routes, pair) > 0.9);
+    }
+
+    #[test]
     fn hidden_config_mode_is_hidden() {
         assert_eq!(WormholeConfig::hidden().mode, WormholeMode::Hidden);
     }

@@ -20,7 +20,7 @@
 //!   near the other. SAM's statistics still fire; the suspect link then
 //!   names the attackers' neighbourhoods rather than the attackers.
 
-use manet_sim::SimDuration;
+use manet_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// How the wormhole endpoints present themselves to the network.
@@ -60,6 +60,54 @@ impl DropPolicy {
     }
 }
 
+/// When the tunnel actually relays a captured RREQ — the smarter
+/// attacker variants from the robustness study (Azer & El-Kassas's
+/// catalogue of complex wormholes: selective forwarding, intermittent
+/// tunnels). [`TunnelPolicy::Always`] reproduces the paper's attacker and
+/// never draws from the RNG, so existing scenarios are bit-for-bit
+/// unchanged.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TunnelPolicy {
+    /// Tunnel every captured RREQ (the paper's attacker).
+    Always,
+    /// Tunnel each captured RREQ independently with this probability —
+    /// selective/probabilistic tunneling, diluting the link-frequency
+    /// signature SAM keys on.
+    Selective(f64),
+    /// On/off wormhole: the tunnel relays only during the first `on_us`
+    /// of every `period_us` window — a duty-cycled attacker that hides
+    /// between bursts.
+    DutyCycle {
+        /// Window length (µs); must be positive to gate anything.
+        period_us: u64,
+        /// Active prefix of each window (µs).
+        on_us: u64,
+    },
+}
+
+impl TunnelPolicy {
+    /// Whether a capture at `now` is tunneled. Draws from `rng` only for
+    /// [`TunnelPolicy::Selective`] with `0 < p < 1` (determinism: the
+    /// always/never/duty cases must not perturb the RNG stream).
+    pub fn tunnels(self, now: SimTime, rng: &mut impl rand::Rng) -> bool {
+        match self {
+            TunnelPolicy::Always => true,
+            TunnelPolicy::Selective(p) => {
+                if p >= 1.0 {
+                    true
+                } else if p <= 0.0 {
+                    false
+                } else {
+                    rng.random_bool(p)
+                }
+            }
+            TunnelPolicy::DutyCycle { period_us, on_us } => {
+                period_us == 0 || now.as_micros() % period_us < on_us
+            }
+        }
+    }
+}
+
 /// Full configuration of one wormhole attack.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct WormholeConfig {
@@ -70,6 +118,8 @@ pub struct WormholeConfig {
     pub tunnel_latency: SimDuration,
     /// Post-capture data-plane behaviour.
     pub drop: DropPolicy,
+    /// When the tunnel relays captured RREQs.
+    pub tunneling: TunnelPolicy,
 }
 
 impl Default for WormholeConfig {
@@ -78,6 +128,7 @@ impl Default for WormholeConfig {
             mode: WormholeMode::Participation,
             tunnel_latency: SimDuration::from_micros(200),
             drop: DropPolicy::Relay,
+            tunneling: TunnelPolicy::Always,
         }
     }
 }
@@ -99,12 +150,29 @@ impl WormholeConfig {
             ..WormholeConfig::default()
         }
     }
+
+    /// Paper-mode wormhole that tunnels each capture with probability `p`.
+    pub fn selective(p: f64) -> Self {
+        WormholeConfig {
+            tunneling: TunnelPolicy::Selective(p),
+            ..WormholeConfig::default()
+        }
+    }
+
+    /// Paper-mode on/off wormhole (`on_us` active out of each
+    /// `period_us`).
+    pub fn duty_cycled(period_us: u64, on_us: u64) -> Self {
+        WormholeConfig {
+            tunneling: TunnelPolicy::DutyCycle { period_us, on_us },
+            ..WormholeConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn drop_policy_extremes() {
@@ -136,6 +204,51 @@ mod tests {
         let cfg = WormholeConfig::default();
         assert_eq!(cfg.mode, WormholeMode::Participation);
         assert_eq!(cfg.drop, DropPolicy::Relay);
+        assert_eq!(cfg.tunneling, TunnelPolicy::Always);
         assert!(cfg.tunnel_latency < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn tunnel_policy_extremes_never_draw() {
+        // Comparing RNG state before/after proves the deterministic
+        // paths never touch the stream.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let before = rng.clone();
+        let t = SimTime::from_micros(123);
+        assert!(TunnelPolicy::Always.tunnels(t, &mut rng));
+        assert!(TunnelPolicy::Selective(1.0).tunnels(t, &mut rng));
+        assert!(!TunnelPolicy::Selective(0.0).tunnels(t, &mut rng));
+        assert!(TunnelPolicy::DutyCycle {
+            period_us: 1_000,
+            on_us: 500
+        }
+        .tunnels(SimTime::from_micros(10_499), &mut rng));
+        assert!(!TunnelPolicy::DutyCycle {
+            period_us: 1_000,
+            on_us: 500
+        }
+        .tunnels(SimTime::from_micros(10_500), &mut rng));
+        // Zero period degenerates to always-on rather than dividing by 0.
+        assert!(TunnelPolicy::DutyCycle {
+            period_us: 0,
+            on_us: 0
+        }
+        .tunnels(t, &mut rng));
+        let mut after = before.clone();
+        assert_eq!(
+            rng.random_range(0..u64::MAX),
+            after.random_range(0..u64::MAX),
+            "none of the above may consume RNG state"
+        );
+    }
+
+    #[test]
+    fn selective_policy_fires_roughly_at_rate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = TunnelPolicy::Selective(0.7);
+        let fired = (0..10_000)
+            .filter(|_| p.tunnels(SimTime::ZERO, &mut rng))
+            .count();
+        assert!((6_700..7_300).contains(&fired), "fired={fired}");
     }
 }

@@ -254,6 +254,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_routes_explains_without_panicking() {
+        // A discovery that found nothing still gets a (vacuous) verdict.
+        let profile = NormalProfile::train(&normal_sets(), 20);
+        let d = SamDetector::default();
+        let routes: Vec<Route> = Vec::new();
+        let analysis = d.analyze(&routes, &profile);
+        let ex = Explanation::from_analysis(&routes, &analysis);
+        assert_eq!(ex.suspect_link, None);
+        assert_eq!(ex.suspect_count, 0);
+        assert_eq!(ex.total_links, 0);
+        assert_eq!(ex.p_max, 0.0);
+        assert_eq!(ex.delta, 0.0);
+        assert!(!ex.anomalous);
+        assert!(ex.routes.is_empty());
+    }
+
+    #[test]
+    fn tied_top_links_break_deterministically_with_zero_delta() {
+        // Two equally frequent links — e.g. a second wormhole pair as
+        // strong as the first. Δ must be exactly 0 and the suspect must
+        // be the normalized-order smaller link, every time.
+        let profile = NormalProfile::train(&normal_sets(), 20);
+        let d = SamDetector::default();
+        let routes = vec![
+            r(&[0, 7, 8, 9]),
+            r(&[0, 1, 7, 8, 2, 9]),
+            r(&[0, 11, 12, 9]),
+            r(&[0, 3, 11, 12, 4, 9]),
+        ];
+        let analysis = d.analyze(&routes, &profile);
+        let ex = Explanation::from_analysis(&routes, &analysis);
+        assert_eq!(ex.delta, 0.0, "a perfect tie has no frequency gap");
+        assert_eq!(ex.suspect_link, Some((7, 8)), "tie broken by link order");
+        assert_eq!(ex.suspect_count, 2);
+        // Re-running is byte-stable: same suspect, same listed routes.
+        let again = Explanation::from_analysis(&routes, &d.analyze(&routes, &profile));
+        assert_eq!(again, ex);
+    }
+
+    #[test]
+    fn single_route_set_yields_empty_leave_one_out_rest() {
+        // One route only: the leave-one-out complement is the empty set,
+        // which must not panic and must attribute everything to that
+        // route.
+        let profile = NormalProfile::train(&normal_sets(), 20);
+        let d = SamDetector::default();
+        let routes = vec![r(&[0, 7, 8, 9])];
+        let analysis = d.analyze(&routes, &profile);
+        let ex = Explanation::from_analysis(&routes, &analysis);
+        assert_eq!(ex.routes.len(), 1);
+        let only = &ex.routes[0];
+        assert_eq!(only.p_max_contribution, ex.p_max);
+        assert_eq!(only.delta_contribution, ex.delta);
+        assert_eq!(only.hops.len(), 3);
+    }
+
+    #[test]
     fn explanation_round_trips_through_json() {
         let (_, ex) = explain();
         let line = serde_json::to_string(&ex).unwrap();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE]
-//!           [--flight FILE] [--bench FILE] [EXPERIMENT_ID ...]
+//!           [--flight FILE] [--bench FILE] [--robustness-bench FILE]
+//!           [EXPERIMENT_ID ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Each produces an ASCII table on
@@ -37,6 +38,7 @@ struct Args {
     telemetry: Option<PathBuf>,
     flight: Option<PathBuf>,
     bench: Option<PathBuf>,
+    robustness_bench: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -56,6 +58,7 @@ fn parse_args() -> Parsed {
     let mut telemetry = None;
     let mut flight = None;
     let mut bench = None;
+    let mut robustness_bench = None;
     let mut ids = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -102,6 +105,12 @@ fn parse_args() -> Parsed {
                 };
                 bench = Some(PathBuf::from(v));
             }
+            "--robustness-bench" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--robustness-bench needs a value".into());
+                };
+                robustness_bench = Some(PathBuf::from(v));
+            }
             "--list" => {
                 return Parsed::Info(ALL_IDS.join("\n"));
             }
@@ -113,6 +122,8 @@ fn parse_args() -> Parsed {
                      --telemetry FILE: write spans + metrics snapshot to FILE as JSONL\n  \
                      --flight FILE: record an explained 2-cluster wormhole run to FILE\n  \
                      --bench FILE: write a wall-time + counters bench report to FILE\n  \
+                     --robustness-bench FILE: write the robustness sweep report to FILE \
+                     (implies the robustness id)\n  \
                      known ids: {}",
                     ALL_IDS.join(", ")
                 ));
@@ -123,6 +134,11 @@ fn parse_args() -> Parsed {
     if ids.is_empty() {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    // The robustness report rides on the robustness sweep, so the flag
+    // implies the id.
+    if robustness_bench.is_some() && !ids.iter().any(|i| i == "robustness") {
+        ids.push("robustness".to_string());
+    }
     Parsed::Run(Args {
         runs,
         jobs,
@@ -130,6 +146,7 @@ fn parse_args() -> Parsed {
         telemetry,
         flight,
         bench,
+        robustness_bench,
         ids,
     })
 }
@@ -170,7 +187,28 @@ fn main() -> ExitCode {
         span.field("id", id);
         span.field("runs", args.runs);
         span.field("seed", sam_experiments::scenario::DEFAULT_BASE_SEED);
-        let Some(tables) = run_experiment(id, args.runs) else {
+        // The robustness sweep is computed once; its typed report feeds
+        // both the tables and (when asked) BENCH_robustness.json.
+        let tables = if id == "robustness" {
+            let report = sam_experiments::robustness::compute(args.runs);
+            if let Some(path) = &args.robustness_bench {
+                match std::fs::write(path, report.to_json()) {
+                    Ok(()) => println!(
+                        "[robustness: {} points -> {}]",
+                        report.points.len(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+            }
+            Some(sam_experiments::robustness::tables(&report))
+        } else {
+            run_experiment(id, args.runs)
+        };
+        let Some(tables) = tables else {
             eprintln!(
                 "unknown experiment id: {id} (known: {})",
                 ALL_IDS.join(", ")

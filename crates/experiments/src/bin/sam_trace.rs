@@ -62,6 +62,18 @@ fn entry_line(e: &TraceEntry) -> String {
             format!("deliver {channel:?} {} -> {}", from.0, e.node.0)
         }
         TraceKind::Timer { key } => format!("timer key={key} @ node {}", e.node.0),
+        TraceKind::Fault { kind } => match kind {
+            manet_sim::FaultKind::BurstStart { idx } => format!("fault burst[{idx}] starts"),
+            manet_sim::FaultKind::BurstEnd { idx } => format!("fault burst[{idx}] ends"),
+            manet_sim::FaultKind::NodeDown => format!("fault node {} down", e.node.0),
+            manet_sim::FaultKind::NodeUp => format!("fault node {} up", e.node.0),
+            manet_sim::FaultKind::Dropped { from } => {
+                format!("fault drop {} -> {}", from.0, e.node.0)
+            }
+            manet_sim::FaultKind::Duplicated { from } => {
+                format!("fault dup {} -> {}", from.0, e.node.0)
+            }
+        },
     };
     let cause = match e.cause {
         Some(c) => format!("cause={c}"),

@@ -17,12 +17,16 @@ use sam_telemetry::Telemetry;
 const TRAIN_OFFSET: u64 = 1000;
 
 /// Knobs for one recorded run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FlightOptions {
     /// Trace buffer bound (entries past it are counted, not stored).
     pub trace_capacity: usize,
     /// Normal-condition discoveries used to train the profile.
     pub train_runs: u64,
+    /// Fault plan composed onto the recorded run (training always stays
+    /// clean). Fault activations land on the trace's fault channel, so
+    /// the recording explains every loss burst and churn event.
+    pub faults: Option<sam_faults::FaultPlan>,
 }
 
 impl Default for FlightOptions {
@@ -30,6 +34,7 @@ impl Default for FlightOptions {
         FlightOptions {
             trace_capacity: 200_000,
             train_runs: 8,
+            faults: None,
         }
     }
 }
@@ -81,6 +86,9 @@ pub fn record_flight(
         run_seed,
     );
     session.network_mut().set_telemetry(Some(tel.clone()));
+    if let Some(fault_plan) = &opts.faults {
+        sam_faults::apply(fault_plan, session.network_mut()).expect("valid fault plan");
+    }
     session.enable_trace(opts.trace_capacity);
     let discovery = session.discover(src, dst, DEFAULT_MAX_WAIT);
     let trace = session.take_trace().expect("tracing was enabled");
@@ -165,6 +173,21 @@ mod tests {
         assert!(recording.trace().max_lineage_depth() > 1);
         assert!(recording.snapshot.is_some());
         assert!(recording.explanation.is_some());
+    }
+
+    #[test]
+    fn faulted_recording_lands_on_the_fault_channel() {
+        let spec = ScenarioSpec::attacked(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let opts = FlightOptions {
+            faults: Some(sam_faults::FaultPlan::constant_loss(0.2)),
+            ..FlightOptions::default()
+        };
+        let (recording, _) = record_flight(&spec, 0, &opts);
+        let summary = sam_flight::FlightSummary::from_recording(&recording);
+        assert!(
+            summary.faults > 0,
+            "a 20% loss field must drop something: {summary}"
+        );
     }
 
     #[test]

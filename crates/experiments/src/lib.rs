@@ -22,6 +22,7 @@
 //! | `fig15` | p_max, 0/1/2 wormholes | [`fig15`] |
 //! | `detection` | end-to-end detector quality (extension) | [`detection`] |
 //! | `ablations` | design-choice sweeps (extension) | [`ablations`] |
+//! | `robustness` | detection vs. loss/churn/attacker variants (extension) | [`robustness`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod flight;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 pub mod series;
@@ -67,6 +69,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig15",
     "detection",
     "ablations",
+    "robustness",
 ];
 
 /// Run one experiment by id with the given series length (`runs` is
@@ -89,6 +92,7 @@ pub fn run_experiment(id: &str, runs: u64) -> Option<Vec<Table>> {
         "fig15" => vec![fig15::run(runs)],
         "detection" => vec![detection::run(runs)],
         "ablations" => ablations::run_all(runs),
+        "robustness" => robustness::run(runs),
         _ => return None,
     };
     Some(tables)
@@ -98,9 +102,10 @@ pub fn run_experiment(id: &str, runs: u64) -> Option<Vec<Table>> {
 pub mod prelude {
     pub use crate::flight::{record_flight, FlightOptions};
     pub use crate::report::{Cell, Table};
+    pub use crate::robustness::{RobustnessPoint, RobustnessReport};
     pub use crate::runner::{
-        build_plan, default_jobs, mean_of, run_once, run_once_configured, run_once_with_routes,
-        run_series, run_series_jobs, set_global_jobs, RunRecord, PAPER_RUNS,
+        build_plan, default_jobs, mean_of, run_once, run_once_configured, run_once_faulted,
+        run_once_with_routes, run_series, run_series_jobs, set_global_jobs, RunRecord, PAPER_RUNS,
     };
     pub use crate::scenario::{derive_seed, draw_endpoints, ScenarioSpec, TopologyKind};
     pub use crate::series::{feature_table, PairedSeries};
@@ -118,6 +123,6 @@ mod tests {
         let t = run_experiment("fig9", 1).expect("fig9 known");
         assert_eq!(t[0].id, "fig9");
         assert!(run_experiment("nope", 1).is_none());
-        assert_eq!(ALL_IDS.len(), 15);
+        assert_eq!(ALL_IDS.len(), 16);
     }
 }

@@ -88,6 +88,20 @@ pub fn run_once_configured(
     router_cfg: &RouterConfig,
     worm_cfg: WormholeConfig,
 ) -> (RunRecord, Vec<Route>) {
+    run_once_faulted(spec, run, router_cfg, worm_cfg, None)
+}
+
+/// Execute one run with an optional [`FaultPlan`](sam_faults::FaultPlan)
+/// composed onto the scenario (the robustness sweeps feed loss bursts,
+/// churn and jitter through here). `None` is byte-identical to
+/// [`run_once_configured`].
+pub fn run_once_faulted(
+    spec: &ScenarioSpec,
+    run: u64,
+    router_cfg: &RouterConfig,
+    worm_cfg: WormholeConfig,
+    faults: Option<&sam_faults::FaultPlan>,
+) -> (RunRecord, Vec<Route>) {
     let run_seed = derive_seed(spec.base_seed, run);
     let mut span = sam_telemetry::span("experiment.run");
     span.field("scenario", spec.topology.label());
@@ -110,6 +124,9 @@ pub fn run_once_configured(
         LatencyModel::default(),
         run_seed,
     );
+    if let Some(fault_plan) = faults {
+        sam_faults::apply(fault_plan, session.network_mut()).expect("valid fault plan");
+    }
     let outcome = session.discover(src, dst, DEFAULT_MAX_WAIT);
     assert!(
         !outcome.truncated,
@@ -148,6 +165,22 @@ pub fn run_once_configured(
 /// Execute one run, discarding the route set.
 pub fn run_once(spec: &ScenarioSpec, run: u64) -> RunRecord {
     run_once_with_routes(spec, run).0
+}
+
+/// [`run_once_with_routes`] under an optional fault plan, with default
+/// router/wormhole configurations (what `loadgen --faults` replays).
+pub fn run_once_with_routes_faulted(
+    spec: &ScenarioSpec,
+    run: u64,
+    faults: Option<&sam_faults::FaultPlan>,
+) -> (RunRecord, Vec<Route>) {
+    run_once_faulted(
+        spec,
+        run,
+        &RouterConfig::new(spec.protocol),
+        WormholeConfig::default(),
+        faults,
+    )
 }
 
 /// Process-wide override for [`run_series`]'s worker count; 0 = auto
@@ -284,6 +317,34 @@ mod tests {
         assert!(span >= 4, "second tunnel span {span}");
         let rec = run_once(&spec, 0);
         assert!(rec.n_routes > 0);
+    }
+
+    #[test]
+    fn faultless_run_matches_configured_run_exactly() {
+        let spec = ScenarioSpec::attacked(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let cfg = RouterConfig::new(spec.protocol);
+        let (plain, routes_plain) = run_once_configured(&spec, 1, &cfg, WormholeConfig::default());
+        let (inert, routes_inert) = run_once_faulted(
+            &spec,
+            1,
+            &cfg,
+            WormholeConfig::default(),
+            Some(&sam_faults::FaultPlan::none()),
+        );
+        assert_eq!(routes_plain, routes_inert);
+        assert_eq!(plain.p_max, inert.p_max);
+        assert_eq!(plain.overhead, inert.overhead);
+    }
+
+    #[test]
+    fn total_loss_plan_silences_discovery() {
+        let spec = ScenarioSpec::attacked(TopologyKind::cluster1(), ProtocolKind::Mr);
+        let cfg = RouterConfig::new(spec.protocol);
+        let plan = sam_faults::FaultPlan::constant_loss(1.0);
+        let (rec, routes) =
+            run_once_faulted(&spec, 0, &cfg, WormholeConfig::default(), Some(&plan));
+        assert_eq!(routes.len(), 0, "no radio delivery can survive p=1 loss");
+        assert_eq!(rec.n_routes, 0);
     }
 
     #[test]

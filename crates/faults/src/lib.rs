@@ -1,0 +1,44 @@
+//! # sam-faults — deterministic fault-injection plans
+//!
+//! The paper evaluates SAM on clean, static topologies; this crate
+//! supplies the structured adversity those experiments lack. A
+//! [`FaultPlan`] is a declarative, serializable schedule of channel and
+//! membership faults — time-windowed loss bursts (optionally confined to
+//! a circular region), node crash/recover and join/leave churn, and
+//! packet duplication/reordering jitter — that composes onto *any*
+//! scenario via [`apply`]: the plan's directives are scheduled as
+//! fault-channel events and a compiled [`FaultHook`](manet_sim::FaultHook)
+//! is installed on the network.
+//!
+//! ## Determinism contract
+//!
+//! Faults draw from the same seeded RNG as everything else, in scheduling
+//! order, so a run remains a pure function of
+//! `(topology, behaviours, seed, plan)` — two runs with the same seed and
+//! plan are byte-identical. Moreover the compiled hook never touches the
+//! RNG for a fault that cannot fire (probability zero, inactive window,
+//! receiver outside the region), and [`apply`] schedules nothing for
+//! inert directives — so a plan whose every probability is zero is
+//! **trace-identical to the no-faults baseline**. The property tests in
+//! `tests/props_faults.rs` (workspace root) pin both guarantees.
+//!
+//! Every activation and consequence is recorded on the trace's fault
+//! channel ([`TraceKind::Fault`](manet_sim::TraceKind)), so a flight
+//! recording fully explains why a route set changed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hook;
+pub mod plan;
+
+pub use hook::{apply, CompiledFaults};
+pub use plan::{ChurnEvent, ChurnKind, FaultPlan, JitterSpec, LossBurst, PlanError, Region};
+
+/// One-stop imports for fault-plan users.
+pub mod prelude {
+    pub use crate::hook::{apply, CompiledFaults};
+    pub use crate::plan::{
+        ChurnEvent, ChurnKind, FaultPlan, JitterSpec, LossBurst, PlanError, Region,
+    };
+}

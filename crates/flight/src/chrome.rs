@@ -13,7 +13,7 @@
 //!   exactly which reception spawned it.
 
 use crate::record::FlightRecording;
-use manet_sim::{TraceChannel, TraceEntry, TraceKind};
+use manet_sim::{FaultKind, TraceChannel, TraceEntry, TraceKind};
 use sam_telemetry::chrome::{event_to_chrome, obj, process_name, trace_document};
 use serde_json::Value;
 
@@ -26,6 +26,14 @@ fn entry_name(e: &TraceEntry) -> &'static str {
             TraceChannel::Tunnel => "deliver.tunnel",
         },
         TraceKind::Timer { .. } => "timer",
+        TraceKind::Fault { kind } => match kind {
+            FaultKind::BurstStart { .. } => "fault.burst_start",
+            FaultKind::BurstEnd { .. } => "fault.burst_end",
+            FaultKind::NodeDown => "fault.node_down",
+            FaultKind::NodeUp => "fault.node_up",
+            FaultKind::Dropped { .. } => "fault.dropped",
+            FaultKind::Duplicated { .. } => "fault.duplicated",
+        },
     }
 }
 
@@ -42,6 +50,12 @@ fn entry_to_chrome(e: &TraceEntry) -> Value {
     }
     if let TraceKind::Timer { key } = e.kind {
         args.push(("key", Value::UInt(key)));
+    }
+    if let TraceKind::Fault {
+        kind: FaultKind::Dropped { from } | FaultKind::Duplicated { from },
+    } = e.kind
+    {
+        args.push(("from", Value::UInt(u64::from(from.0))));
     }
     obj(vec![
         ("name", Value::Str(entry_name(e).to_string())),

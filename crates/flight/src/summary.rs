@@ -25,6 +25,9 @@ pub struct FlightSummary {
     pub roots: u64,
     /// Timer firings recorded.
     pub timers: u64,
+    /// Fault-channel entries (injected directives plus their drops and
+    /// duplicates); 0 on fault-free runs.
+    pub faults: u64,
     /// Broadcast deliveries recorded.
     pub broadcast: u64,
     /// Unicast deliveries recorded.
@@ -61,8 +64,9 @@ impl FlightSummary {
             timers: trace
                 .entries()
                 .iter()
-                .filter(|e| e.channel().is_none())
+                .filter(|e| matches!(e.kind, manet_sim::TraceKind::Timer { .. }))
                 .count() as u64,
+            faults: trace.entries().iter().filter(|e| e.is_fault()).count() as u64,
             broadcast: channel_count(TraceChannel::Broadcast),
             unicast: channel_count(TraceChannel::Unicast),
             tunnel: channel_count(TraceChannel::Tunnel),
@@ -79,6 +83,7 @@ impl FlightSummary {
             ("dropped", self.dropped),
             ("roots", self.roots),
             ("timers", self.timers),
+            ("faults", self.faults),
             ("broadcast", self.broadcast),
             ("unicast", self.unicast),
             ("tunnel", self.tunnel),
@@ -166,6 +171,7 @@ mod tests {
         assert_eq!(s.entries, 4);
         assert_eq!(s.tunnel, 3);
         assert_eq!(s.timers, 1);
+        assert_eq!(s.faults, 0);
         assert_eq!(s.dropped, 2);
         assert_eq!(s.max_lineage_depth, 3);
         assert_eq!(s.roots, 2, "first delivery and the timer");
@@ -173,6 +179,24 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("two_cluster"));
         assert!(rendered.contains("max_lineage_depth"));
+    }
+
+    #[test]
+    fn fault_entries_count_as_faults_not_timers() {
+        let mut rec = recording(1);
+        rec.entries.push(TraceEntry {
+            id: 101,
+            cause: None,
+            at: SimTime(5),
+            node: NodeId(2),
+            kind: TraceKind::Fault {
+                kind: manet_sim::FaultKind::NodeDown,
+            },
+        });
+        let s = FlightSummary::from_recording(&rec);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.timers, 1, "fault entries must not inflate timers");
+        assert!(s.to_string().contains("faults"));
     }
 
     #[test]

@@ -107,6 +107,18 @@ impl<B: Behavior<Msg = RoutingMsg> + RouterAccess> Session<B> {
         self.net.set_loss_prob(p);
     }
 
+    /// Install a fault hook on the underlying network (see
+    /// [`Network::set_fault_hook`]); fault-plan crates use this to
+    /// compose loss bursts, churn and jitter onto any session.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn manet_sim::FaultHook>) {
+        self.net.set_fault_hook(hook);
+    }
+
+    /// Cumulative fault-injection statistics of the underlying network.
+    pub fn fault_stats(&self) -> manet_sim::FaultStats {
+        self.net.fault_stats()
+    }
+
     /// Behaviour of one node.
     pub fn node(&self, id: NodeId) -> &B {
         &self.nodes[id.idx()]

@@ -6,8 +6,13 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--workers N] [--batch N] [--queue N]
-//!         [--attacked-pct P] [--explain] [--json PATH] [--telemetry PATH]
+//!         [--attacked-pct P] [--faults PLAN.json] [--explain]
+//!         [--json PATH] [--telemetry PATH]
 //! ```
+//!
+//! `--faults PLAN.json` composes a [`sam_faults::FaultPlan`] onto every
+//! simulated discovery of the replay corpus (profiles still train on
+//! clean runs) — the serving-path version of the robustness sweep.
 //!
 //! The final summary is one [`LoadgenSummary`] built from the service's
 //! telemetry registry snapshot — stdout and `--json PATH` render the same
@@ -20,7 +25,7 @@
 use manet_routing::{ProtocolKind, Route};
 use sam::NormalProfile;
 use sam_experiments::prelude::{derive_seed, ScenarioSpec, TopologyKind};
-use sam_experiments::runner::run_once_with_routes;
+use sam_experiments::runner::{run_once_with_routes, run_once_with_routes_faulted};
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
 use sam_telemetry::{report::write_jsonl, BenchReport, RegistrySnapshot, Telemetry};
@@ -42,6 +47,7 @@ struct Args {
     batch: usize,
     queue: usize,
     attacked_pct: u32,
+    faults: Option<String>,
     explain: bool,
     json: Option<String>,
     telemetry: Option<String>,
@@ -55,6 +61,7 @@ impl Default for Args {
             batch: 32,
             queue: 256,
             attacked_pct: 30,
+            faults: None,
             explain: false,
             json: None,
             telemetry: None,
@@ -96,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--attacked-pct must be 0..=100".into());
                 }
             }
+            "--faults" => args.faults = Some(value("--faults")?),
             "--explain" => args.explain = true,
             "--json" => args.json = Some(value("--json")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
@@ -108,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
                      --batch N         max requests drained per worker wake (default 32)\n  \
                      --queue N         per-shard queue capacity (default 256)\n  \
                      --attacked-pct P  percent of traffic from attacked scenarios (default 30)\n  \
+                     --faults PLAN     compose the fault plan in PLAN (JSON) onto corpus runs\n  \
                      --explain         attach verdict explanations to every response\n  \
                      --json PATH       write the summary as JSON\n  \
                      --telemetry PATH  write batch spans + metrics snapshot as JSONL"
@@ -176,12 +185,29 @@ fn main() -> ExitCode {
         tel
     });
 
+    // An optional fault plan composed onto every corpus run (profiles
+    // still train clean — the deployment story).
+    let fault_plan = match &args.faults {
+        None => None,
+        Some(path) => match sam_faults::FaultPlan::load(std::path::Path::new(path)) {
+            Ok(plan) => {
+                eprintln!("loadgen: fault plan '{}' from {path}", plan.name);
+                Some(plan)
+            }
+            Err(e) => {
+                eprintln!("loadgen: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     // Pre-simulate the replay corpus so the measured section exercises
     // the service, not the simulator.
     eprintln!("loadgen: simulating replay corpus ...");
     let corpus: Vec<(ProfileKey, bool, Vec<Route>)> = catalogue()
         .iter()
         .flat_map(|(key, normal, attacked)| {
+            let fault_plan = fault_plan.as_ref();
             (0..REPLAY_SETS).map(move |r| {
                 // Interleave normal/attacked per the requested mix with a
                 // deterministic Bresenham pattern (no RNG: replay is
@@ -189,7 +215,8 @@ fn main() -> ExitCode {
                 let pct = args.attacked_pct as u64;
                 let attacked_slot = (r + 1) * pct / 100 > r * pct / 100;
                 let spec = if attacked_slot { attacked } else { normal };
-                let (_, routes) = run_once_with_routes(spec, derive_seed(r, 7) % 500);
+                let (_, routes) =
+                    run_once_with_routes_faulted(spec, derive_seed(r, 7) % 500, fault_plan);
                 (key.clone(), attacked_slot, routes)
             })
         })

@@ -11,7 +11,7 @@
 //! events fire in scheduling order, so a run is a pure function of
 //! `(topology, behaviours, seed)`.
 
-use crate::event::{Channel, EventKind, EventQueue};
+use crate::event::{Channel, EventKind, EventQueue, FaultKind};
 use crate::ids::NodeId;
 use crate::metrics::Metrics;
 use crate::radio::LatencyModel;
@@ -21,7 +21,7 @@ use crate::trace::{Trace, TraceEntry, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sam_telemetry::Telemetry;
-use std::fmt::Debug;
+use std::fmt::{self, Debug};
 
 /// Protocol logic for one node. `Msg` is the wire message type shared by
 /// all nodes in a run (typically an enum of RREQ/RREP/DATA/ACK).
@@ -43,6 +43,102 @@ pub trait Behavior {
         let _ = (ctx, key);
     }
 }
+
+/// The fate of one about-to-be-scheduled over-the-air delivery, decided
+/// by a [`FaultHook`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryVerdict {
+    /// Drop the delivery (recorded as a [`FaultKind::Dropped`] trace
+    /// entry; the receiver never hears it).
+    pub drop: bool,
+    /// Schedule a second copy arriving this much *after* the original —
+    /// packet duplication.
+    pub duplicate: Option<SimDuration>,
+    /// Extra latency on the original — reordering jitter (a delayed copy
+    /// can arrive after packets sent later).
+    pub delay: SimDuration,
+}
+
+impl DeliveryVerdict {
+    /// Leave the delivery untouched.
+    pub const PASS: DeliveryVerdict = DeliveryVerdict {
+        drop: false,
+        duplicate: None,
+        delay: SimDuration::ZERO,
+    };
+}
+
+/// A deterministic fault-injection hook, consulted by the engine.
+///
+/// The contract that makes replay determinism composable: an
+/// implementation must not draw from `rng` unless a fault with
+/// probability `> 0` actually covers the consulted delivery (mirroring
+/// the engine's own `loss_prob > 0.0 &&` short-circuit). A hook whose
+/// every fault has probability zero is then invisible to the RNG stream,
+/// so the run is byte-identical to one with no hook installed — the
+/// property tests in `sam-faults` pin exactly this.
+pub trait FaultHook: Send {
+    /// A scheduled [`FaultKind`] directive fired (burst edge or churn).
+    /// Returns the number of topology links currently inside an active
+    /// loss-burst scope, surfaced as the `faults.links_down` gauge.
+    fn on_fault(&mut self, topology: &Topology, at: SimTime, node: NodeId, kind: FaultKind) -> u64;
+
+    /// Decide the fate of one over-the-air delivery (`broadcast` leg or
+    /// `unicast`) about to be scheduled at `at`. Tunnel deliveries are
+    /// never consulted: the attackers' private channel is assumed
+    /// reliable, and its faults are modelled by the attacker behaviours
+    /// themselves.
+    fn on_delivery(
+        &mut self,
+        topology: &Topology,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+        rng: &mut StdRng,
+    ) -> DeliveryVerdict;
+
+    /// Whether `node`'s radio is down (crashed or left) right now. Down
+    /// nodes neither receive deliveries nor fire timers.
+    fn is_down(&self, node: NodeId) -> bool;
+}
+
+/// Cumulative tallies of what the installed [`FaultHook`] did. Flushed
+/// per run into the telemetry registry (`faults.*` counters/gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Scheduled fault directives dispatched ([`FaultKind`] events).
+    pub injected: u64,
+    /// Deliveries dropped — by a loss fault or by a down receiver.
+    pub dropped: u64,
+    /// Deliveries duplicated by jitter.
+    pub duplicated: u64,
+    /// Deliveries delayed (reordering jitter) but still delivered.
+    pub delayed: u64,
+    /// Timer firings suppressed at down nodes.
+    pub timers_suppressed: u64,
+    /// High-water mark of links inside an active loss-burst scope.
+    pub links_down_hwm: u64,
+    /// High-water mark of simultaneously down nodes.
+    pub nodes_down_hwm: u64,
+}
+
+/// The loss probability handed to [`Network::try_set_loss_prob`] was NaN,
+/// infinite, or outside `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidLossProb(pub f64);
+
+impl fmt::Display for InvalidLossProb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loss probability must be a finite value in [0.0, 1.0], got {}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidLossProb {}
 
 /// Summary of one `run` call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +173,10 @@ pub struct Network<M> {
     /// high-water mark, one span per run). Captured from the process
     /// global at construction; `None` keeps the hot path untouched.
     telemetry: Option<Telemetry>,
+    /// Installed fault-injection hook, if any (see [`FaultHook`]).
+    faults: Option<Box<dyn FaultHook>>,
+    /// What the hook has done so far (cumulative across runs).
+    fault_stats: FaultStats,
 }
 
 impl<M: Clone + Debug> Network<M> {
@@ -96,6 +196,8 @@ impl<M: Clone + Debug> Network<M> {
             trace: None,
             current_cause: None,
             telemetry: sam_telemetry::global(),
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -117,14 +219,104 @@ impl<M: Clone + Debug> Network<M> {
     /// still count towards overhead; lost deliveries produce no
     /// reception. Tunnels are unaffected (the attackers' private channel
     /// is assumed reliable).
+    ///
+    /// # Panics
+    /// On an invalid probability (NaN, infinite, or outside `[0, 1]`);
+    /// use [`Network::try_set_loss_prob`] for a recoverable check.
     pub fn set_loss_prob(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p) && p.is_finite(), "loss prob {p}");
-        self.loss_prob = p;
+        if let Err(e) = self.try_set_loss_prob(p) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`Network::set_loss_prob`]: rejects NaN,
+    /// infinities, and values outside `[0, 1]` without panicking.
+    pub fn try_set_loss_prob(&mut self, p: f64) -> Result<(), InvalidLossProb> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            self.loss_prob = p;
+            Ok(())
+        } else {
+            Err(InvalidLossProb(p))
+        }
     }
 
     /// The configured per-delivery loss probability.
     pub fn loss_prob(&self) -> f64 {
         self.loss_prob
+    }
+
+    /// Install a fault-injection hook (replacing any previous one). The
+    /// hook sees every over-the-air delivery and every scheduled fault
+    /// directive; see [`FaultHook`] for the determinism contract.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.faults = Some(hook);
+    }
+
+    /// Remove the fault hook, restoring clean-channel behaviour.
+    pub fn clear_fault_hook(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether a fault hook is installed.
+    pub fn has_fault_hook(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Cumulative fault-injection tallies (zero when no hook ever acted).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Schedule a fault directive at absolute time `at` (clamped to now).
+    /// Dispatch records a [`TraceKind::Fault`] entry and forwards the
+    /// directive to the installed hook.
+    pub fn schedule_fault(&mut self, at: SimTime, node: NodeId, kind: FaultKind) {
+        let at = at.max(self.now);
+        self.queue.schedule(at, EventKind::Fault { node, kind });
+    }
+
+    /// Ask the hook about one about-to-be-scheduled delivery. `None`
+    /// means the delivery is dropped (already recorded and tallied);
+    /// otherwise the extra delay and optional duplicate offset.
+    fn consult_faults(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        channel: Channel,
+    ) -> Option<(SimDuration, Option<SimDuration>)> {
+        let Some(hook) = self.faults.as_mut() else {
+            return Some((SimDuration::ZERO, None));
+        };
+        let v = hook.on_delivery(&self.topology, self.now, from, to, channel, &mut self.rng);
+        if v.drop {
+            self.record_fault(to, FaultKind::Dropped { from });
+            self.fault_stats.dropped += 1;
+            return None;
+        }
+        if v.duplicate.is_some() {
+            self.record_fault(to, FaultKind::Duplicated { from });
+            self.fault_stats.duplicated += 1;
+        }
+        if v.delay > SimDuration::ZERO {
+            self.fault_stats.delayed += 1;
+        }
+        Some((v.delay, v.duplicate))
+    }
+
+    /// Record a per-delivery fault consequence in the trace, under a
+    /// freshly allocated lineage id (the id the affected delivery would
+    /// have used) and the current dispatch cause.
+    fn record_fault(&mut self, node: NodeId, kind: FaultKind) {
+        let id = self.queue.alloc_seq();
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEntry {
+                id,
+                cause: self.current_cause,
+                at: self.now,
+                node,
+                kind: TraceKind::Fault { kind },
+            });
+        }
     }
 
     /// Sample one loss decision.
@@ -219,6 +411,7 @@ impl<M: Clone + Debug> Network<M> {
         let mut queue_hwm = 0usize;
         let mut processed = 0u64;
         let mut truncated = false;
+        let faults_before = self.fault_stats;
         while let Some(at) = self.queue.peek_time() {
             if at > until {
                 break;
@@ -242,6 +435,25 @@ impl<M: Clone + Debug> Network<M> {
                     channel,
                     msg,
                 } => {
+                    // A down receiver hears nothing: the in-flight
+                    // delivery becomes a fault-channel drop (under the
+                    // delivery's own lineage id, so the causal trace
+                    // explains the missing reception).
+                    if self.faults.as_ref().is_some_and(|h| h.is_down(to)) {
+                        if let Some(trace) = &mut self.trace {
+                            trace.record(TraceEntry {
+                                id: ev.seq,
+                                cause: ev.cause,
+                                at: ev.at,
+                                node: to,
+                                kind: TraceKind::Fault {
+                                    kind: FaultKind::Dropped { from },
+                                },
+                            });
+                        }
+                        self.fault_stats.dropped += 1;
+                        continue;
+                    }
                     match channel {
                         Channel::Tunnel => self.metrics.node_mut(to).tunnel_rx += 1,
                         _ => self.metrics.node_mut(to).rx += 1,
@@ -266,6 +478,12 @@ impl<M: Clone + Debug> Network<M> {
                     behavior.on_receive(&mut ctx, from, channel, msg);
                 }
                 EventKind::Timer { node, key } => {
+                    // A down node's timers stay silent (counted, not
+                    // traced: the node-down activation already is).
+                    if self.faults.as_ref().is_some_and(|h| h.is_down(node)) {
+                        self.fault_stats.timers_suppressed += 1;
+                        continue;
+                    }
                     if let Some(trace) = &mut self.trace {
                         trace.record(TraceEntry {
                             id: ev.seq,
@@ -278,6 +496,27 @@ impl<M: Clone + Debug> Network<M> {
                     let behavior = &mut behaviors[node.idx()];
                     let mut ctx = Ctx { net: self, node };
                     behavior.on_timer(&mut ctx, key);
+                }
+                EventKind::Fault { node, kind } => {
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(TraceEntry {
+                            id: ev.seq,
+                            cause: ev.cause,
+                            at: ev.at,
+                            node,
+                            kind: TraceKind::Fault { kind },
+                        });
+                    }
+                    self.fault_stats.injected += 1;
+                    if let Some(hook) = self.faults.as_mut() {
+                        let links_down = hook.on_fault(&self.topology, ev.at, node, kind);
+                        self.fault_stats.links_down_hwm =
+                            self.fault_stats.links_down_hwm.max(links_down);
+                        let downs =
+                            self.topology.nodes().filter(|&n| hook.is_down(n)).count() as u64;
+                        self.fault_stats.nodes_down_hwm =
+                            self.fault_stats.nodes_down_hwm.max(downs);
+                    }
                 }
             }
         }
@@ -294,6 +533,36 @@ impl<M: Clone + Debug> Network<M> {
                 registry
                     .gauge("sim.trace_dropped")
                     .record_max(trace.dropped());
+            }
+            // Fault counters flush as per-run deltas; nothing is emitted
+            // on clean runs, so fault-free snapshots are unchanged.
+            let fs = self.fault_stats;
+            for (name, delta) in [
+                ("faults.injected", fs.injected - faults_before.injected),
+                ("faults.dropped", fs.dropped - faults_before.dropped),
+                (
+                    "faults.duplicated",
+                    fs.duplicated - faults_before.duplicated,
+                ),
+                ("faults.delayed", fs.delayed - faults_before.delayed),
+                (
+                    "faults.timers_suppressed",
+                    fs.timers_suppressed - faults_before.timers_suppressed,
+                ),
+            ] {
+                if delta > 0 {
+                    registry.counter(name).add(delta);
+                }
+            }
+            if fs.links_down_hwm > 0 {
+                registry
+                    .gauge("faults.links_down")
+                    .record_max(fs.links_down_hwm);
+            }
+            if fs.nodes_down_hwm > 0 {
+                registry
+                    .gauge("faults.nodes_down")
+                    .record_max(fs.nodes_down_hwm);
             }
             if let Some(span) = &mut span {
                 span.field("events", processed);
@@ -389,8 +658,12 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
             if self.net.lost() {
                 continue;
             }
+            let Some((extra, dup)) = self.net.consult_faults(node, v, Channel::Broadcast) else {
+                continue;
+            };
+            let at = self.net.now + lat + extra;
             self.net.queue.schedule_caused(
-                self.net.now + lat,
+                at,
                 EventKind::Deliver {
                     to: v,
                     from: node,
@@ -399,6 +672,18 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                 },
                 self.net.current_cause,
             );
+            if let Some(after) = dup {
+                self.net.queue.schedule_caused(
+                    at + after,
+                    EventKind::Deliver {
+                        to: v,
+                        from: node,
+                        channel: Channel::Broadcast,
+                        msg: msg.clone(),
+                    },
+                    self.net.current_cause,
+                );
+            }
         }
     }
 
@@ -420,16 +705,32 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
         if self.net.lost() {
             return;
         }
+        let Some((extra, dup)) = self.net.consult_faults(self.node, to, Channel::Unicast) else {
+            return;
+        };
+        let at = self.net.now + lat + extra;
         self.net.queue.schedule_caused(
-            self.net.now + lat,
+            at,
             EventKind::Deliver {
                 to,
                 from: self.node,
                 channel: Channel::Unicast,
-                msg,
+                msg: msg.clone(),
             },
             self.net.current_cause,
         );
+        if let Some(after) = dup {
+            self.net.queue.schedule_caused(
+                at + after,
+                EventKind::Deliver {
+                    to,
+                    from: self.node,
+                    channel: Channel::Unicast,
+                    msg,
+                },
+                self.net.current_cause,
+            );
+        }
     }
 
     /// Send `msg` over an out-of-band tunnel to any node, regardless of
@@ -622,6 +923,174 @@ mod tests {
     fn invalid_loss_probability_rejected() {
         let mut net = line_net(3, 0);
         net.set_loss_prob(1.5);
+    }
+
+    #[test]
+    fn loss_probability_accepts_both_bounds_and_rejects_the_rest() {
+        let mut net = line_net(3, 0);
+        net.set_loss_prob(0.0);
+        assert_eq!(net.loss_prob(), 0.0);
+        net.set_loss_prob(1.0);
+        assert_eq!(net.loss_prob(), 1.0);
+        assert!(net.try_set_loss_prob(0.5).is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = net.try_set_loss_prob(bad).unwrap_err();
+            assert_eq!(net.loss_prob(), 0.5, "rejected value must not stick");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("loss probability") && msg.contains("[0.0, 1.0]"),
+                "unhelpful message: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must be a finite value in [0.0, 1.0], got NaN")]
+    fn nan_loss_probability_names_the_value() {
+        let mut net = line_net(3, 0);
+        net.set_loss_prob(f64::NAN);
+    }
+
+    /// Scripted hook for the engine-level fault tests.
+    #[derive(Default)]
+    struct ScriptedFaults {
+        drop_to: Option<NodeId>,
+        duplicate_to: Option<NodeId>,
+        down: Vec<NodeId>,
+        fault_events: u64,
+    }
+
+    impl FaultHook for ScriptedFaults {
+        fn on_fault(
+            &mut self,
+            _topology: &Topology,
+            _at: SimTime,
+            node: NodeId,
+            kind: FaultKind,
+        ) -> u64 {
+            self.fault_events += 1;
+            match kind {
+                FaultKind::NodeDown => self.down.push(node),
+                FaultKind::NodeUp => self.down.retain(|&n| n != node),
+                _ => {}
+            }
+            0
+        }
+        fn on_delivery(
+            &mut self,
+            _topology: &Topology,
+            _at: SimTime,
+            _from: NodeId,
+            to: NodeId,
+            _channel: Channel,
+            _rng: &mut StdRng,
+        ) -> DeliveryVerdict {
+            DeliveryVerdict {
+                drop: self.drop_to == Some(to),
+                duplicate: (self.duplicate_to == Some(to)).then_some(SimDuration::from_micros(5)),
+                delay: SimDuration::ZERO,
+            }
+        }
+        fn is_down(&self, node: NodeId) -> bool {
+            self.down.contains(&node)
+        }
+    }
+
+    #[test]
+    fn fault_hook_drops_are_traced_and_partition_the_flood() {
+        let mut net = line_net(5, 0);
+        net.enable_trace(1000);
+        net.set_fault_hook(Box::new(ScriptedFaults {
+            drop_to: Some(NodeId(2)),
+            ..ScriptedFaults::default()
+        }));
+        let mut nodes: Vec<Flood> = (0..5).map(|_| Flood { heard_at: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::MAX);
+        assert!(nodes[1].heard_at.is_some());
+        assert!(nodes[2].heard_at.is_none(), "all deliveries to 2 dropped");
+        assert!(nodes[3].heard_at.is_none(), "flood cannot pass the hole");
+        let stats = net.fault_stats();
+        assert!(stats.dropped > 0);
+        let trace = net.trace().unwrap();
+        assert_eq!(trace.fault_entries() as u64, stats.dropped);
+        assert!(trace.entries().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Fault {
+                kind: FaultKind::Dropped { from: NodeId(1) }
+            }
+        ) && e.node == NodeId(2)
+            && e.cause.is_some()));
+    }
+
+    #[test]
+    fn fault_hook_duplicates_double_receptions() {
+        let mut net = line_net(3, 0);
+        net.set_fault_hook(Box::new(ScriptedFaults {
+            duplicate_to: Some(NodeId(1)),
+            ..ScriptedFaults::default()
+        }));
+        let mut nodes: Vec<Flood> = (0..3).map(|_| Flood { heard_at: None }).collect();
+        net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+        net.run(&mut nodes, SimTime::MAX);
+        // Baseline line-of-3 flood has 4 receptions (see
+        // `metrics_count_flood_traffic`); node 1 hears each of its 2
+        // deliveries twice.
+        assert_eq!(net.metrics().total_rx(), 6);
+        assert_eq!(net.fault_stats().duplicated, 2);
+    }
+
+    #[test]
+    fn scheduled_node_down_silences_deliveries_and_timers() {
+        let mut net = line_net(5, 0);
+        net.enable_trace(1000);
+        net.set_fault_hook(Box::new(ScriptedFaults::default()));
+        net.schedule_fault(SimTime::ZERO, NodeId(1), FaultKind::NodeDown);
+        // This timer would originate a flood at node 1 — a down node
+        // stays silent.
+        net.schedule_timer(NodeId(1), SimDuration::from_micros(10), 0);
+        net.schedule_timer(NodeId(0), SimDuration::from_micros(20), 0);
+        let mut nodes: Vec<Flood> = (0..5).map(|_| Flood { heard_at: None }).collect();
+        net.run(&mut nodes, SimTime::MAX);
+        assert!(nodes[0].heard_at.is_some(), "origin still fires");
+        assert!(nodes[1].heard_at.is_none(), "down node hears nothing");
+        assert!(nodes[2].heard_at.is_none(), "flood dies at the hole");
+        let stats = net.fault_stats();
+        assert_eq!(stats.injected, 1);
+        assert_eq!(stats.timers_suppressed, 1);
+        assert!(stats.dropped >= 1);
+        assert_eq!(stats.nodes_down_hwm, 1);
+        let trace = net.trace().unwrap();
+        assert!(trace.entries().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Fault {
+                kind: FaultKind::NodeDown
+            }
+        ) && e.node == NodeId(1)));
+    }
+
+    #[test]
+    fn pass_through_hook_leaves_the_run_byte_identical() {
+        fn run(hook: bool) -> (Vec<Option<SimTime>>, u64) {
+            let topo = Topology::new(
+                (0..6)
+                    .map(|i| Pos::new((i % 3) as f64, (i / 3) as f64))
+                    .collect(),
+                1.5,
+            );
+            let mut net: Network<u32> = Network::new(topo, LatencyModel::default(), 11);
+            if hook {
+                net.set_fault_hook(Box::new(ScriptedFaults::default()));
+            }
+            let mut nodes: Vec<Flood> = (0..6).map(|_| Flood { heard_at: None }).collect();
+            net.schedule_timer(NodeId(0), SimDuration::ZERO, 0);
+            let stats = net.run(&mut nodes, SimTime::MAX);
+            (
+                nodes.iter().map(|f| f.heard_at).collect(),
+                stats.events_processed,
+            )
+        }
+        assert_eq!(run(false), run(true), "inert hook must not perturb RNG");
     }
 
     #[test]

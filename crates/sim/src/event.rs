@@ -8,6 +8,7 @@
 
 use crate::ids::NodeId;
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -21,6 +22,39 @@ pub enum Channel {
     Unicast,
     /// Delivery over an out-of-band tunnel (the wormhole's private channel).
     Tunnel,
+}
+
+/// What a fault-channel event does. Scheduled directives (burst edges,
+/// churn) fire through the run loop like any other event; per-delivery
+/// consequences (drops, duplicates) are recorded at decision time. Either
+/// way the activation lands in the causal trace, so a recording explains
+/// *why* a route set changed, not just that it did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A loss burst (plan index `idx`) switches on.
+    BurstStart {
+        /// Index into the fault plan's burst list.
+        idx: u32,
+    },
+    /// A loss burst switches off.
+    BurstEnd {
+        /// Index into the fault plan's burst list.
+        idx: u32,
+    },
+    /// The node's radio goes down (crash or leave).
+    NodeDown,
+    /// The node's radio comes back (recover or join).
+    NodeUp,
+    /// A delivery from `from` to this node was dropped by a fault.
+    Dropped {
+        /// The dropped delivery's sender.
+        from: NodeId,
+    },
+    /// A delivery from `from` to this node was duplicated by jitter.
+    Duplicated {
+        /// The duplicated delivery's sender.
+        from: NodeId,
+    },
 }
 
 /// A scheduled occurrence.
@@ -43,6 +77,15 @@ pub enum EventKind<M> {
         node: NodeId,
         /// Behaviour-defined timer key.
         key: u64,
+    },
+    /// A scheduled fault directive fires (dispatched to the network's
+    /// fault hook, not to a behaviour). `node` is the affected node for
+    /// churn directives and `NodeId(0)` for network-scoped burst edges.
+    Fault {
+        /// Affected node (churn) or `NodeId(0)` (network-scoped).
+        node: NodeId,
+        /// What the directive does.
+        kind: FaultKind,
     },
 }
 
@@ -126,6 +169,16 @@ impl<M> EventQueue<M> {
             cause,
             kind,
         });
+    }
+
+    /// Allocate one lineage id without scheduling anything. Used for
+    /// occurrences that are recorded but never dispatched — e.g. a
+    /// fault-dropped delivery gets a trace entry with a fresh id in place
+    /// of the event it would have been.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Remove and return the earliest event, if any.

@@ -44,8 +44,10 @@ pub mod trace;
 
 /// One-stop imports for simulator users.
 pub mod prelude {
-    pub use crate::engine::{Behavior, Ctx, Network, RunStats};
-    pub use crate::event::Channel;
+    pub use crate::engine::{
+        Behavior, Ctx, DeliveryVerdict, FaultHook, FaultStats, InvalidLossProb, Network, RunStats,
+    };
+    pub use crate::event::{Channel, FaultKind};
     pub use crate::ids::{Link, NodeId};
     pub use crate::metrics::{Metrics, NodeCounters};
     pub use crate::radio::{range_for_tier, LatencyModel, RadioConfig};

@@ -17,7 +17,7 @@
 //! causal graph acyclic by construction; the lineage property test pins
 //! this.
 
-use crate::event::Channel;
+use crate::event::{Channel, FaultKind};
 use crate::ids::NodeId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,15 @@ pub enum TraceKind {
     Timer {
         /// Behaviour-defined key.
         key: u64,
+    },
+    /// A fault activation or consequence — the trace's "fault channel".
+    /// Scheduled directives (burst edges, churn) record at dispatch;
+    /// per-delivery consequences (drops, duplicates) record at decision
+    /// time with `cause` pointing at the event whose handler scheduled the
+    /// affected delivery.
+    Fault {
+        /// What happened.
+        kind: FaultKind,
     },
 }
 
@@ -84,7 +93,7 @@ impl TraceEntry {
     pub fn channel(&self) -> Option<TraceChannel> {
         match self.kind {
             TraceKind::Deliver { channel, .. } => Some(channel),
-            TraceKind::Timer { .. } => None,
+            TraceKind::Timer { .. } | TraceKind::Fault { .. } => None,
         }
     }
 
@@ -92,8 +101,13 @@ impl TraceEntry {
     pub fn from(&self) -> Option<NodeId> {
         match self.kind {
             TraceKind::Deliver { from, .. } => Some(from),
-            TraceKind::Timer { .. } => None,
+            TraceKind::Timer { .. } | TraceKind::Fault { .. } => None,
         }
+    }
+
+    /// Whether this entry rides the fault channel.
+    pub fn is_fault(&self) -> bool {
+        matches!(self.kind, TraceKind::Fault { .. })
     }
 }
 
@@ -236,6 +250,12 @@ impl Trace {
     pub fn roots(&self) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter().filter(|e| e.cause.is_none())
     }
+
+    /// Number of fault-channel entries recorded (activations, drops,
+    /// duplicates) — zero on a clean run.
+    pub fn fault_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_fault()).count()
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +337,42 @@ mod tests {
         assert_eq!(t.max_lineage_depth(), 3);
         assert_eq!(t.roots().count(), 2);
         assert_eq!(t.entry(7).unwrap().node, NodeId(9));
+    }
+
+    #[test]
+    fn fault_entries_ride_their_own_channel() {
+        let mut t = Trace::with_capacity(10);
+        t.record(deliver(0, None, 1, 5, 1));
+        t.record(TraceEntry {
+            id: 1,
+            cause: Some(0),
+            at: SimTime(2),
+            node: NodeId(3),
+            kind: TraceKind::Fault {
+                kind: FaultKind::Dropped { from: NodeId(5) },
+            },
+        });
+        t.record(TraceEntry {
+            id: 2,
+            cause: None,
+            at: SimTime(3),
+            node: NodeId(0),
+            kind: TraceKind::Fault {
+                kind: FaultKind::BurstStart { idx: 0 },
+            },
+        });
+        assert_eq!(t.fault_entries(), 2);
+        let fault = t.entry(1).unwrap();
+        assert!(fault.is_fault());
+        assert_eq!(fault.channel(), None, "faults are not deliveries");
+        assert_eq!(fault.from(), None);
+        assert_eq!(
+            t.deliveries_to(NodeId(3)).count(),
+            0,
+            "a dropped delivery never counts as delivered"
+        );
+        // Fault consequences carry causal lineage like any other entry.
+        assert_eq!(t.lineage_depth(1), 2);
     }
 
     #[test]

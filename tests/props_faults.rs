@@ -1,0 +1,130 @@
+//! Property tests for the fault-injection determinism contract
+//! (`sam-faults`): same seed + same plan ⇒ byte-identical traces and
+//! route sets, and an all-zero-probability plan is trace-identical to
+//! the no-faults baseline.
+
+use manet_attacks::prelude::*;
+use manet_routing::prelude::*;
+use manet_sim::prelude::*;
+use proptest::prelude::*;
+use sam_experiments::prelude::*;
+use sam_faults::{ChurnKind, FaultPlan, JitterSpec, LossBurst, Region};
+
+/// One traced attacked discovery on the 6×6 grid; returns the exact
+/// trace bytes and the collected route set.
+fn traced_run(faults: Option<&FaultPlan>, run: u64) -> (String, Vec<Route>) {
+    let spec = ScenarioSpec::attacked(TopologyKind::uniform6x6(), ProtocolKind::Mr);
+    let run_seed = derive_seed(spec.base_seed, run);
+    let plan = build_plan(&spec, run);
+    let (src, dst) = draw_endpoints(&plan, run_seed);
+    let wiring = AttackWiring::from_plan(&plan, &[0], WormholeConfig::default());
+    let mut session = attack_session(
+        &plan,
+        RouterConfig::new(spec.protocol),
+        &wiring,
+        LatencyModel::default(),
+        run_seed,
+    );
+    if let Some(f) = faults {
+        sam_faults::apply(f, session.network_mut()).expect("generated plans are valid");
+    }
+    session.enable_trace(400_000);
+    let out = session.discover(src, dst, DEFAULT_MAX_WAIT);
+    let trace = session.take_trace().expect("tracing enabled");
+    let bytes = serde_json::to_string(trace.entries()).expect("trace serializes");
+    (bytes, out.routes)
+}
+
+/// A burst anywhere in the first 40 ms, any probability; roughly half
+/// carry a disc region over the 6×6 grid (coordinates 0..=5).
+fn arb_burst() -> impl Strategy<Value = LossBurst> {
+    (
+        0u64..40_000,
+        1u64..40_000,
+        0.0f64..=1.0,
+        (0.0f64..1.0, 0.0f64..5.0, 0.0f64..5.0, 0.5f64..4.0),
+    )
+        .prop_map(|(start, len, prob, (gate, x, y, radius))| LossBurst {
+            start_us: start,
+            end_us: start + len,
+            prob,
+            region: (gate < 0.5).then_some(Region { x, y, radius }),
+        })
+}
+
+/// Churn over the grid's 36 nodes inside the discovery window.
+fn arb_churn() -> impl Strategy<Value = (u64, u32, ChurnKind)> {
+    (0u64..40_000, 0u32..36, 0u8..4).prop_map(|(at_us, node, k)| {
+        let kind = match k {
+            0 => ChurnKind::Crash,
+            1 => ChurnKind::Recover,
+            2 => ChurnKind::Leave,
+            _ => ChurnKind::Join,
+        };
+        (at_us, node, kind)
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(arb_burst(), 0..3),
+        proptest::collection::vec(arb_churn(), 0..3),
+        (0.0f64..1.0, 0.0f64..0.3, 0.0f64..0.3),
+    )
+        .prop_map(|(bursts, churn, (gate, dup_prob, reorder_prob))| {
+            let mut plan = FaultPlan::none().named("prop");
+            for b in bursts {
+                plan = plan.with_burst(b);
+            }
+            for (at_us, node, kind) in churn {
+                plan = plan.with_churn(at_us, node, kind);
+            }
+            if gate < 0.5 {
+                plan = plan.with_jitter(JitterSpec {
+                    dup_prob,
+                    dup_delay_us: 300,
+                    reorder_prob,
+                    reorder_delay_us: 500,
+                });
+            }
+            plan
+        })
+}
+
+proptest! {
+    #[test]
+    fn same_seed_same_plan_is_byte_identical(plan in arb_plan(), run in 0u64..16) {
+        let (trace_a, routes_a) = traced_run(Some(&plan), run);
+        let (trace_b, routes_b) = traced_run(Some(&plan), run);
+        prop_assert_eq!(trace_a, trace_b, "trace bytes diverged for {:?}", &plan);
+        prop_assert_eq!(routes_a, routes_b);
+    }
+
+    #[test]
+    fn zero_probability_plan_matches_no_faults_baseline(
+        plan in arb_plan(),
+        run in 0u64..16,
+    ) {
+        // Null out every stochastic element: what remains cannot fire,
+        // so the run must be trace-identical to no plan at all.
+        let mut zeroed = plan;
+        for b in &mut zeroed.loss_bursts {
+            b.prob = 0.0;
+        }
+        zeroed.churn.clear();
+        if let Some(j) = &mut zeroed.jitter {
+            j.dup_prob = 0.0;
+            j.reorder_prob = 0.0;
+        }
+        let (trace_plan, routes_plan) = traced_run(Some(&zeroed), run);
+        let (trace_none, routes_none) = traced_run(None, run);
+        prop_assert_eq!(trace_plan, trace_none, "inert plan perturbed the run");
+        prop_assert_eq!(routes_plan, routes_none);
+    }
+
+    #[test]
+    fn plan_json_round_trip_is_lossless(plan in arb_plan()) {
+        let back = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+        prop_assert_eq!(back, plan);
+    }
+}
