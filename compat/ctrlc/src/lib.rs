@@ -1,0 +1,137 @@
+//! Offline stand-in for the subset of `ctrlc` this workspace uses:
+//! [`set_handler`] registering a callback for SIGINT (ctrl-c) and —
+//! unlike upstream's default, matching its `termination` feature —
+//! SIGTERM, the signal process supervisors send first.
+//!
+//! The build environment has no registry access, so instead of the real
+//! crate (which pulls in `nix`) this vendors the minimal mechanism: a raw
+//! `signal(2)` binding installs an async-signal-safe handler that does
+//! nothing but bump an `AtomicUsize`, and a watcher thread polls that
+//! flag and runs the user callback in normal (non-signal) context. This
+//! is the only crate in `compat/` that needs `unsafe`: registering a
+//! process signal handler is inherently a raw libc call. The handler body
+//! itself touches nothing but a lock-free atomic, which is on the
+//! async-signal-safe list.
+//!
+//! On non-Unix targets registration succeeds but the callback never
+//! fires (there is no SIGTERM to catch); callers keep an explicit
+//! shutdown path — the gateway's remote `drain` command — for those.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Signals observed but not yet consumed by the watcher thread.
+static PENDING: AtomicUsize = AtomicUsize::new(0);
+/// Guards against double registration (second `set_handler` errors, like
+/// upstream).
+static REGISTERED: AtomicBool = AtomicBool::new(false);
+
+/// Error registering the handler.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctrlc: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(unix)]
+mod sys {
+    use super::PENDING;
+    use std::sync::atomic::Ordering;
+
+    /// POSIX signal numbers (stable on every Linux ABI rust targets).
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    /// The registered handler: async-signal-safe by construction — one
+    /// relaxed atomic increment, no allocation, no locks, no syscalls.
+    extern "C" fn on_signal(_signum: i32) {
+        PENDING.fetch_add(1, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)` from
+        /// libc, with the handler typed as the fn pointer it is. The
+        /// return value (previous handler) is only compared against
+        /// `SIG_ERR`.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIG_ERR: usize = usize::MAX;
+
+    pub fn install() -> Result<(), String> {
+        // SAFETY: `signal` is the documented libc entry point; the handler
+        // passed is a valid `extern "C" fn(i32)` for the process lifetime
+        // (it is a static item) and its body is async-signal-safe.
+        let a = unsafe { signal(SIGINT, on_signal) };
+        let b = unsafe { signal(SIGTERM, on_signal) };
+        if a == SIG_ERR || b == SIG_ERR {
+            return Err("signal(2) rejected the handler".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Register `handler` to run after SIGINT or SIGTERM. The callback runs
+/// on a dedicated watcher thread (never in signal context), once per
+/// observed signal, at most ~25ms after delivery.
+pub fn set_handler<F: FnMut() + Send + 'static>(mut handler: F) -> Result<(), Error> {
+    if REGISTERED.swap(true, Ordering::SeqCst) {
+        return Err(Error("a handler is already registered".to_string()));
+    }
+    sys::install().map_err(Error)?;
+    std::thread::Builder::new()
+        .name("ctrlc-watch".to_string())
+        .spawn(move || loop {
+            let n = PENDING.swap(0, Ordering::Relaxed);
+            for _ in 0..n {
+                handler();
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        })
+        .map(|_| ())
+        .map_err(|e| Error(format!("spawning watcher thread: {e}")))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_reaches_the_callback_and_double_registration_errors() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let seen = fired.clone();
+        set_handler(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("first registration succeeds");
+        assert!(set_handler(|| {}).is_err(), "second registration rejected");
+
+        // SAFETY: raising a signal at ourselves that our freshly installed
+        // handler catches; the process does not terminate.
+        unsafe { raise(sys::SIGTERM) };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "callback never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod robustness;
 pub mod runner;
 pub mod scenario;
 pub mod series;
+pub mod serving;
 pub mod svg;
 pub mod table1;
 pub mod table2;

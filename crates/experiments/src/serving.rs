@@ -1,0 +1,144 @@
+//! The serving-tier deployment catalogue: which simulated deployments the
+//! online tier (`loadgen`, `sam-gateway`) knows how to train profiles
+//! for, and the training convention they share.
+//!
+//! Keeping this in `sam-experiments` (rather than duplicated in each
+//! binary) guarantees the gateway process and a remote load generator
+//! agree on deployment keys: a key string minted by
+//! [`Deployment::key_string`] on the client resolves to the same
+//! [`ScenarioSpec`]s — and therefore the same trained profile — on the
+//! server.
+
+use crate::runner::{run_once_with_routes, run_once_with_routes_faulted};
+use crate::scenario::{derive_seed, ScenarioSpec, TopologyKind};
+use manet_routing::{ProtocolKind, Route};
+use sam::NormalProfile;
+
+/// Offset separating profile-training runs from serving traffic (matches
+/// the convention in [`crate::detection`]).
+pub const TRAIN_OFFSET: u64 = 1000;
+/// Training route sets per profile.
+pub const TRAIN_RUNS: u64 = 8;
+/// Distinct replayed route sets per scenario in a loadgen corpus.
+pub const REPLAY_SETS: u64 = 16;
+
+/// One deployment the serving tier can answer for: a topology/protocol
+/// pair plus its normal and attacked scenario specs.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Topology half of the profile key (e.g. `"Uniform { cols: 6, ... }"`).
+    pub topology: String,
+    /// Protocol half of the profile key (e.g. `"mr"`).
+    pub protocol: String,
+    /// Clean-network scenario: the source of training runs.
+    pub normal: ScenarioSpec,
+    /// Wormhole-attacked variant of the same deployment.
+    pub attacked: ScenarioSpec,
+}
+
+impl Deployment {
+    /// The `topology/protocol` form used in logs and the wire protocol.
+    pub fn key_string(&self) -> String {
+        format!("{}/{}", self.topology, self.protocol)
+    }
+}
+
+/// The deployments the serving tier replays traffic from and trains
+/// profiles for.
+pub fn catalogue() -> Vec<Deployment> {
+    [
+        TopologyKind::uniform6x6(),
+        TopologyKind::cluster1(),
+        TopologyKind::uniform10x6(),
+    ]
+    .into_iter()
+    .map(|topo| {
+        let normal = ScenarioSpec::normal(topo, ProtocolKind::Mr);
+        let attacked = ScenarioSpec::attacked(topo, ProtocolKind::Mr);
+        Deployment {
+            topology: format!("{:?}", normal.topology),
+            protocol: "mr".to_string(),
+            normal,
+            attacked,
+        }
+    })
+    .collect()
+}
+
+/// The deployment whose topology/protocol strings match, if known.
+pub fn find(topology: &str, protocol: &str) -> Option<Deployment> {
+    catalogue()
+        .into_iter()
+        .find(|d| d.topology == topology && d.protocol == protocol)
+}
+
+/// Train the normal-condition profile for one deployment the way the
+/// detection experiment does: [`TRAIN_RUNS`] clean route sets at seeds
+/// offset far from serving traffic.
+pub fn train_profile(deployment: &Deployment) -> NormalProfile {
+    let sets: Vec<Vec<Route>> = (0..TRAIN_RUNS)
+        .map(|r| run_once_with_routes(&deployment.normal, TRAIN_OFFSET + r).1)
+        .collect();
+    NormalProfile::train(&sets, 20)
+}
+
+/// One pre-simulated replay corpus entry: the deployment it belongs to,
+/// whether the run was attacked, and the discovered route set.
+pub type CorpusEntry = (Deployment, bool, Vec<Route>);
+
+/// Pre-simulate a replay corpus over the whole catalogue:
+/// [`REPLAY_SETS`] route sets per deployment with `attacked_pct` percent
+/// of slots drawn from the attacked scenario (deterministic Bresenham
+/// interleave — no RNG, so replay is reproducible), optionally composed
+/// with a fault plan.
+pub fn replay_corpus(
+    attacked_pct: u32,
+    fault_plan: Option<&sam_faults::FaultPlan>,
+) -> Vec<CorpusEntry> {
+    catalogue()
+        .iter()
+        .flat_map(|deployment| {
+            (0..REPLAY_SETS).map(move |r| {
+                let pct = attacked_pct as u64;
+                let attacked_slot = (r + 1) * pct / 100 > r * pct / 100;
+                let spec = if attacked_slot {
+                    &deployment.attacked
+                } else {
+                    &deployment.normal
+                };
+                let (_, routes) =
+                    run_once_with_routes_faulted(spec, derive_seed(r, 7) % 500, fault_plan);
+                (deployment.clone(), attacked_slot, routes)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_keys_are_distinct_and_findable() {
+        let cat = catalogue();
+        assert_eq!(cat.len(), 3);
+        for d in &cat {
+            let found = find(&d.topology, &d.protocol).expect("key resolves");
+            assert_eq!(found.topology, d.topology);
+        }
+        assert!(find("nonsense", "mr").is_none());
+        let mut keys: Vec<String> = cat.iter().map(Deployment::key_string).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 3, "keys are distinct");
+    }
+
+    #[test]
+    fn corpus_interleaves_the_requested_attack_mix() {
+        let corpus = replay_corpus(25, None);
+        assert_eq!(corpus.len(), 3 * REPLAY_SETS as usize);
+        let attacked = corpus.iter().filter(|(_, a, _)| *a).count();
+        assert_eq!(attacked, 3 * (REPLAY_SETS as usize / 4), "25% of slots");
+        assert!(corpus.iter().all(|(_, _, routes)| !routes.is_empty()));
+    }
+}

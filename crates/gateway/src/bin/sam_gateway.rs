@@ -1,0 +1,228 @@
+//! The gateway daemon: serve SAM detection over TCP/JSONL until asked to
+//! drain.
+//!
+//! ```text
+//! sam-gateway [--addr HOST:PORT] [--shards N] [--replicas N]
+//!             [--workers N] [--queue N] [--batch N] [--cache N]
+//!             [--max-conns N] [--backlog N] [--explain]
+//!             [--telemetry PATH]
+//! ```
+//!
+//! Profiles train on demand from the shared serving catalogue
+//! ([`sam_experiments::serving`]) — the same deployments and training
+//! convention `loadgen` uses, so a remote load generator's keys resolve
+//! to identical profiles here. Requests for keys outside the catalogue
+//! get an `"error"` response (the front door never trains on unknown
+//! keys).
+//!
+//! SIGINT/SIGTERM (or a client's `{"cmd":"drain"}` line) triggers
+//! graceful drain: the listener closes, every request already received
+//! is answered, shard queues flush, and the process exits 0 after
+//! printing the final telemetry snapshot. `--telemetry PATH` writes
+//! spans plus that snapshot as JSONL.
+
+use sam_experiments::serving::{catalogue, find, train_profile, Deployment};
+use sam_gateway::prelude::*;
+use sam_serve::prelude::*;
+use sam_serve::service::ProfileSource;
+use sam_telemetry::{report::write_jsonl, Telemetry};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    replicas: u32,
+    workers: usize,
+    queue: usize,
+    batch: usize,
+    cache: usize,
+    max_conns: usize,
+    backlog: usize,
+    explain: bool,
+    telemetry: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let service = ServiceConfig::default();
+        Args {
+            addr: "127.0.0.1:7700".to_string(),
+            shards: 2,
+            replicas: DEFAULT_REPLICAS,
+            workers: service.workers,
+            queue: service.queue_capacity,
+            batch: 32,
+            cache: service.cache_capacity,
+            max_conns: 64,
+            backlog: 128,
+            explain: false,
+            telemetry: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        macro_rules! parse {
+            ($name:literal) => {
+                value($name)?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", $name))?
+            };
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => args.shards = parse!("--shards"),
+            "--replicas" => args.replicas = parse!("--replicas"),
+            "--workers" => args.workers = parse!("--workers"),
+            "--queue" => args.queue = parse!("--queue"),
+            "--batch" => args.batch = parse!("--batch"),
+            "--cache" => args.cache = parse!("--cache"),
+            "--max-conns" => args.max_conns = parse!("--max-conns"),
+            "--backlog" => args.backlog = parse!("--backlog"),
+            "--explain" => args.explain = true,
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+            "--help" | "-h" => {
+                println!(
+                    "sam-gateway: TCP/JSONL front-end for SAM detection\n\n\
+                     options:\n  \
+                     --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 picks one)\n  \
+                     --shards N        DetectionService shards (default 2)\n  \
+                     --replicas N      hash-ring virtual points per shard (default {})\n  \
+                     --workers N       worker threads per shard (default: cores)\n  \
+                     --queue N         per-shard-queue capacity (default 256)\n  \
+                     --batch N         max requests per worker wake (default 32)\n  \
+                     --cache N         profiles kept per shard LRU (default 16)\n  \
+                     --max-conns N     concurrent connections served (default 64)\n  \
+                     --backlog N       accepted connections buffered before shedding (default 128)\n  \
+                     --explain         attach verdict explanations to responses\n  \
+                     --telemetry PATH  write spans + final snapshot as JSONL on exit",
+                    DEFAULT_REPLICAS
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.shards == 0 || args.workers == 0 || args.queue == 0 || args.batch == 0 {
+        return Err("--shards, --workers, --queue, and --batch must be at least 1".into());
+    }
+    if args.max_conns == 0 || args.backlog == 0 || args.replicas == 0 {
+        return Err("--max-conns, --backlog, and --replicas must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Train profiles from the shared serving catalogue. Keys outside the
+/// catalogue never reach this (the gateway's `known_keys` guard answers
+/// them with an error line first).
+fn profile_source() -> ProfileSource {
+    Arc::new(|key: &ProfileKey| {
+        let deployment = find(&key.topology, &key.protocol)
+            .unwrap_or_else(|| panic!("profile key {key} passed the known-keys guard unknown"));
+        train_profile(&deployment)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sam-gateway: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Install before binding: the gateway and its shards capture the
+    // process-global registry at start.
+    let telemetry = args.telemetry.as_ref().map(|_| {
+        let tel = Telemetry::new();
+        sam_telemetry::install(tel.clone());
+        tel
+    });
+
+    let cfg = GatewayConfig {
+        shards: args.shards,
+        replicas: args.replicas,
+        service: ServiceConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: args.batch,
+            cache_capacity: args.cache,
+            // Calibrated like loadgen and the detection experiment: at
+            // ~10-run training scale the 3σ default under-fires.
+            detector: sam::SamConfig {
+                z_threshold: 2.5,
+                ..sam::SamConfig::default()
+            },
+            explain: args.explain,
+            ..ServiceConfig::default()
+        },
+        max_conns: args.max_conns,
+        backlog: args.backlog,
+        known_keys: Some(catalogue().iter().map(Deployment::key_string).collect()),
+        ..GatewayConfig::default()
+    };
+
+    let gateway = match Gateway::bind(&args.addr, cfg, profile_source()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("sam-gateway: binding {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The machine-readable readiness line: scripts wait for it, and with
+    // port 0 it is the only way to learn the port.
+    println!("sam-gateway: listening on {}", gateway.local_addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "sam-gateway: {} shards x {} workers, queue {}, {} conns max",
+        args.shards, args.workers, args.queue, args.max_conns
+    );
+
+    // SIGINT/SIGTERM begins the drain; the poll loop below notices either
+    // the signal or a client-issued drain command.
+    let signalled = Arc::new(AtomicBool::new(false));
+    {
+        let signalled = signalled.clone();
+        if let Err(e) = ctrlc::set_handler(move || signalled.store(true, Ordering::Release)) {
+            eprintln!("sam-gateway: installing signal handler: {e}");
+        }
+    }
+    while !signalled.load(Ordering::Acquire) && !gateway.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("sam-gateway: draining ...");
+    let snapshot = gateway.drain();
+    eprintln!(
+        "sam-gateway: drained: {} conns accepted ({} shed), {} requests served ({} shed, {} codec errors)",
+        snapshot.counter("gateway.accepted"),
+        snapshot.counter("gateway.conn_shed"),
+        snapshot.counter("gateway.requests"),
+        snapshot.counter("gateway.request_shed"),
+        snapshot.counter("gateway.codec_errors"),
+    );
+
+    if let (Some(tel), Some(path)) = (telemetry, &args.telemetry) {
+        sam_telemetry::uninstall();
+        let records = tel.drain();
+        let write = std::fs::File::create(path)
+            .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &records, Some(&snapshot)));
+        match write {
+            Ok(()) => eprintln!("sam-gateway: {} telemetry records -> {path}", records.len()),
+            Err(e) => {
+                eprintln!("sam-gateway: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,155 @@
+//! Consistent-hash routing of deployment keys onto service shards.
+//!
+//! Each shard contributes `replicas` virtual points to a 64-bit hash
+//! ring; a key routes to the first point clockwise from its own hash.
+//! The properties the gateway leans on:
+//!
+//! * **Affinity** — equal keys always land on the same shard, so a
+//!   deployment's LRU-cached profile is trained once and stays
+//!   shard-local (no cross-shard cache duplication).
+//! * **Stability** — adding or removing one shard moves only the keys
+//!   whose nearest point changed: ~`1/N` of the keyspace, not a full
+//!   reshuffle. Pinned by the `ring` integration tests.
+//! * **Determinism** — the hash is a fixed FNV-1a, not `DefaultHasher`,
+//!   so routing is identical across processes and runs; a client can
+//!   predict placement from the key string alone.
+
+/// 64-bit FNV-1a with a splitmix64 finalizer: small, deterministic, and
+/// well-dispersed for ring placement (this is placement, not
+/// cryptography). Raw FNV alone clusters badly on short mostly-zero
+/// inputs like packed `(shard, replica)` ids — the finalizer's avalanche
+/// spreads those clusters over the whole ring.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// splitmix64 finalizer: full-avalanche bijection on u64.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of one virtual point: shard id salted with its replica index.
+fn point_hash(shard: u32, replica: u32) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&shard.to_le_bytes());
+    bytes[4..].copy_from_slice(&replica.to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// A consistent-hash ring over shard ids.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, u32)>,
+    replicas: u32,
+}
+
+/// Virtual points per shard used by [`HashRing::new`]. Enough that the
+/// largest shard's keyspace share stays within ~2× the smallest's.
+pub const DEFAULT_REPLICAS: u32 = 64;
+
+impl HashRing {
+    /// A ring over shards `0..shards`, each with `replicas` virtual
+    /// points.
+    ///
+    /// # Panics
+    /// If `shards` or `replicas` is 0.
+    pub fn new(shards: u32, replicas: u32) -> Self {
+        assert!(shards >= 1, "ring needs at least one shard");
+        assert!(replicas >= 1, "ring needs at least one replica");
+        let mut ring = HashRing {
+            points: Vec::with_capacity(shards as usize * replicas as usize),
+            replicas,
+        };
+        for shard in 0..shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+
+    /// Add `shard`'s virtual points (no-op if already present).
+    pub fn add_shard(&mut self, shard: u32) {
+        if self.contains(shard) {
+            return;
+        }
+        for replica in 0..self.replicas {
+            let h = point_hash(shard, replica);
+            let idx = self.points.partition_point(|&(p, _)| p < h);
+            self.points.insert(idx, (h, shard));
+        }
+    }
+
+    /// Remove `shard`'s virtual points.
+    pub fn remove_shard(&mut self, shard: u32) {
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Whether `shard` is on the ring.
+    pub fn contains(&self, shard: u32) -> bool {
+        self.points.iter().any(|&(_, s)| s == shard)
+    }
+
+    /// Distinct shards currently on the ring.
+    pub fn shard_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.points.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The shard owning `key`: the first virtual point at or clockwise of
+    /// the key's hash (wrapping to the ring start).
+    ///
+    /// # Panics
+    /// If the ring is empty.
+    pub fn route(&self, key: &str) -> u32 {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let h = fnv1a64(key.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(4, DEFAULT_REPLICAS);
+        for i in 0..100 {
+            let key = format!("deployment-{i}/mr");
+            let shard = ring.route(&key);
+            assert!(shard < 4);
+            assert_eq!(shard, ring.route(&key), "same key, same shard");
+            assert_eq!(shard, HashRing::new(4, DEFAULT_REPLICAS).route(&key));
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_some_keyspace() {
+        let ring = HashRing::new(4, DEFAULT_REPLICAS);
+        let mut seen = [0usize; 4];
+        for i in 0..1000 {
+            seen[ring.route(&format!("key-{i}")) as usize] += 1;
+        }
+        for (shard, &count) in seen.iter().enumerate() {
+            assert!(count > 0, "shard {shard} owns no keys");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn empty_ring_routing_panics() {
+        let mut ring = HashRing::new(1, 4);
+        ring.remove_shard(0);
+        let _ = ring.route("key");
+    }
+}

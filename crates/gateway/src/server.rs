@@ -1,0 +1,513 @@
+//! The TCP front-end: accept loop, connection workers, per-request
+//! routing, overload shed, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! ```text
+//!              ┌─ acceptor ─┐   bounded backlog    ┌─ conn worker 0 ─┐
+//!  TcpListener │ nonblocking │ ──────────────────▶ │ conn worker 1   │
+//!              │ accept loop │   (full ⇒ shed     │      …           │
+//!              └─────────────┘    + close)         └─ conn worker N ─┘
+//!                                                         │ ring.route(key)
+//!                                     ┌───────────────────┴──────────┐
+//!                                     ▼                              ▼
+//!                             DetectionService 0   …   DetectionService S-1
+//!                             (own workers + own LRU profile cache each)
+//! ```
+//!
+//! One acceptor thread owns the listener; `max_conns` connection workers
+//! each own one live connection at a time, reading length-guarded JSONL
+//! frames and writing one response line per request **in request order**
+//! (pipelining is supported; responses never reorder within a
+//! connection). Requests route to one of `shards` independent
+//! [`DetectionService`]s by consistent-hashing the deployment key, so a
+//! key's trained profile lives in exactly one shard's LRU cache.
+//!
+//! ## Overload shed
+//!
+//! Two explicit shed points, both surfaced to the client as protocol
+//! responses rather than silent drops:
+//!
+//! * **Connection level** — the accept backlog channel is bounded; when
+//!   full, the acceptor writes one `"shed"` line on the new socket and
+//!   closes it (`gateway.conn_shed`).
+//! * **Request level** — a full shard queue turns
+//!   [`SubmitError::Rejected`] into a `"shed"` response carrying
+//!   `queue_depth` (`gateway.request_shed`), the protocol's 503.
+//!
+//! ## Graceful drain
+//!
+//! [`Gateway::begin_drain`] (SIGTERM/ctrl-c in the binary, or the remote
+//! `drain` command) flips one flag. The acceptor stops accepting and
+//! closes the listener — new connects are refused at the TCP level.
+//! Connection handlers finish every request already received (socket
+//! reads use a short tick timeout, so each handler notices the flag
+//! within ~100ms of going idle), then close. [`Gateway::drain`] joins
+//! all of that, shuts the shard services down (flushing in-flight
+//! batches), and returns the final telemetry snapshot.
+
+use crate::ring::{HashRing, DEFAULT_REPLICAS};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sam_serve::prelude::*;
+use sam_serve::service::ProfileSource;
+use sam_serve::wire::{self, FrameError, FrameReader, WireLine, WireResponse};
+use sam_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Gateway`] is shaped.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Independent [`DetectionService`] shards (each with its own worker
+    /// pool and profile cache). At least 1.
+    pub shards: usize,
+    /// Virtual points per shard on the hash ring.
+    pub replicas: u32,
+    /// Shape of each shard's service.
+    pub service: ServiceConfig,
+    /// Concurrent connection handlers (= live connections). At least 1.
+    pub max_conns: usize,
+    /// Accepted-but-unhandled connections buffered before the acceptor
+    /// sheds new ones.
+    pub backlog: usize,
+    /// Idle cutoff: a connection with no complete frame for this long is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Per-write cap on response lines.
+    pub write_timeout: Duration,
+    /// After drain begins, in-flight connections get at most this long
+    /// to finish before being closed mid-stream.
+    pub drain_grace: Duration,
+    /// Cap on one request line, bytes.
+    pub max_line_bytes: usize,
+    /// When set, requests whose deployment key is not in this list get an
+    /// `"error"` response instead of triggering profile training — the
+    /// front door never trains on keys it has never heard of.
+    pub known_keys: Option<Vec<String>>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 2,
+            replicas: DEFAULT_REPLICAS,
+            service: ServiceConfig::default(),
+            max_conns: 64,
+            backlog: 128,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(5),
+            max_line_bytes: wire::MAX_LINE_BYTES,
+            known_keys: None,
+        }
+    }
+}
+
+/// Socket-read tick: how often a blocked handler re-checks the drain
+/// flag and idle deadline. Bounds drain latency for idle connections.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Everything the acceptor, connection workers, and public handle share.
+struct Shared {
+    cfg: GatewayConfig,
+    ring: HashRing,
+    services: Vec<DetectionService>,
+    draining: AtomicBool,
+    drain_started: Mutex<Option<Instant>>,
+    active: AtomicUsize,
+    registry: Arc<Registry>,
+    accepted: Arc<Counter>,
+    conn_shed: Arc<Counter>,
+    requests: Arc<Counter>,
+    request_shed: Arc<Counter>,
+    codec_errors: Arc<Counter>,
+    unknown_key: Arc<Counter>,
+    active_conns: Arc<Gauge>,
+    latency_us: Arc<Histogram>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        let mut started = self.drain_started.lock().unwrap_or_else(|e| e.into_inner());
+        if started.is_none() {
+            *started = Some(Instant::now());
+        }
+        drop(started);
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether the post-drain grace budget is exhausted.
+    fn grace_expired(&self) -> bool {
+        let started = self.drain_started.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(*started, Some(at) if at.elapsed() > self.cfg.drain_grace)
+    }
+
+    fn conn_opened(&self) {
+        let n = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        self.active_conns.set(n as u64);
+    }
+
+    fn conn_closed(&self) {
+        let n = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.active_conns.set(n as u64);
+    }
+}
+
+/// A running gateway. Dropping it drains ungracefully (listener closes,
+/// workers join); call [`drain`](Gateway::drain) for the orderly path.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    conn_workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind `addr` and start serving. `profiles` trains the normal
+    /// profile for a deployment key on first sight (per shard).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: GatewayConfig,
+        profiles: ProfileSource,
+    ) -> std::io::Result<Gateway> {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.max_conns >= 1, "need at least one connection worker");
+        assert!(cfg.backlog >= 1, "need backlog >= 1");
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        // All gateway.* instruments live beside the shards' serve.*
+        // instruments: the process-global registry when telemetry is
+        // installed, a private one otherwise.
+        let registry = sam_telemetry::global()
+            .map(|t| t.registry().clone())
+            .unwrap_or_default();
+        // Every shard records into the gateway's registry, so the final
+        // drain snapshot carries aggregated serve.* counters (cache
+        // hits/misses, latency) next to the gateway.* ones even without
+        // process-global telemetry.
+        let services = (0..cfg.shards)
+            .map(|_| {
+                DetectionService::start_with_registry(
+                    cfg.service.clone(),
+                    profiles.clone(),
+                    registry.clone(),
+                )
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            ring: HashRing::new(cfg.shards as u32, cfg.replicas),
+            services,
+            draining: AtomicBool::new(false),
+            drain_started: Mutex::new(None),
+            active: AtomicUsize::new(0),
+            accepted: registry.counter("gateway.accepted"),
+            conn_shed: registry.counter("gateway.conn_shed"),
+            requests: registry.counter("gateway.requests"),
+            request_shed: registry.counter("gateway.request_shed"),
+            codec_errors: registry.counter("gateway.codec_errors"),
+            unknown_key: registry.counter("gateway.unknown_key"),
+            active_conns: registry.gauge("gateway.active_conns"),
+            latency_us: registry.histogram_pow2("gateway.request_latency_us"),
+            registry: registry.clone(),
+            cfg,
+        });
+
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.backlog);
+        let conn_workers = (0..shared.cfg.max_conns)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = conn_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sam-gw-conn-{i}"))
+                    .spawn(move || conn_worker(shared, rx))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("sam-gw-accept".to_string())
+                .spawn(move || accept_loop(shared, listener, conn_tx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Gateway {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            conn_workers,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry holding every `gateway.*` and `serve.*` instrument.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Whether drain has begun (via [`begin_drain`](Gateway::begin_drain)
+    /// or the remote `drain` command).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Signal drain without blocking: stop accepting, let in-flight work
+    /// finish. Follow with [`drain`](Gateway::drain) to join.
+    pub fn begin_drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Drain gracefully: stop accepting, serve everything already
+    /// received, join every connection handler, shut the shard services
+    /// down (flushing in-flight batches), and return the final telemetry
+    /// snapshot.
+    pub fn drain(mut self) -> sam_telemetry::RegistrySnapshot {
+        self.shared.begin_drain();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_workers.drain(..) {
+            let _ = h.join();
+        }
+        let snapshot = self.shared.registry.snapshot();
+        // Every thread has returned, so `self.shared` is the last handle:
+        // dropping it drops the shard services, whose own Drop flushes
+        // their queues and joins their workers.
+        drop(self);
+        snapshot
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Idempotent: after `drain` both join lists are already empty.
+        self.shared.begin_drain();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_workers.drain(..) {
+            let _ = h.join();
+        }
+        // Shard services shut down via their own Drop when `shared`
+        // releases its last reference.
+    }
+}
+
+/// The accept loop: nonblocking accept, shed on full backlog, stop and
+/// close the listener on drain.
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: Sender<TcpStream>) {
+    let dispatch = |stream: TcpStream| {
+        shared.accepted.inc();
+        match tx.try_send(stream) {
+            Ok(()) => true,
+            Err(TrySendError::Full(stream)) => {
+                shared.conn_shed.inc();
+                reject_connection(stream, shared.cfg.backlog);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    };
+    loop {
+        if shared.draining() {
+            // Final sweep before closing: the OS has already completed
+            // TCP handshakes for connections sitting in the listen
+            // backlog — those clients believe they are connected, so
+            // closing now would RST them mid-request. Accept everything
+            // already pending, then stop.
+            while let Ok((stream, _peer)) = listener.accept() {
+                if !dispatch(stream) {
+                    break;
+                }
+            }
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if !dispatch(stream) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping the listener closes the socket: further connects are
+    // refused at the TCP level. Dropping `tx` lets idle workers exit.
+}
+
+/// Tell an over-backlog client it was shed, then close.
+fn reject_connection(stream: TcpStream, backlog: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    let line = WireResponse::shed(0, backlog).encode();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// One connection worker: handle accepted sockets until the acceptor
+/// hangs up.
+fn conn_worker(shared: Arc<Shared>, rx: Receiver<TcpStream>) {
+    while let Ok(stream) = rx.recv() {
+        shared.conn_opened();
+        let _ = handle_connection(&shared, stream);
+        shared.conn_closed();
+    }
+}
+
+/// Serve one connection to completion. Returns `Err` only on socket-level
+/// failures; protocol-level problems get `"error"` response lines.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    let mut reader = FrameReader::new(
+        BufReader::new(stream.try_clone()?),
+        shared.cfg.max_line_bytes,
+    );
+    let mut writer = BufWriter::new(stream);
+    let mut last_frame = Instant::now();
+
+    loop {
+        if shared.draining() && shared.grace_expired() {
+            break; // grace budget spent; close even mid-stream
+        }
+        match reader.next_frame() {
+            Ok(Some(line)) => {
+                last_frame = Instant::now();
+                if !serve_line(shared, &line, &mut writer)? {
+                    break;
+                }
+            }
+            Ok(None) => break, // client closed cleanly
+            Err(e) if e.is_timeout() => {
+                // Idle tick: no new bytes. A draining gateway closes idle
+                // connections here — everything already received has been
+                // served (frames are processed before reads can block).
+                if shared.draining() || last_frame.elapsed() > shared.cfg.read_timeout {
+                    break;
+                }
+            }
+            Err(FrameError::TooLong { limit }) => {
+                shared.codec_errors.inc();
+                write_line(
+                    &mut writer,
+                    &WireResponse::error(0, format!("frame exceeds {limit} bytes")),
+                )?;
+                break; // cannot resynchronize after an oversized frame
+            }
+            Err(FrameError::Truncated { .. }) => {
+                shared.codec_errors.inc();
+                break; // peer died mid-line; nobody to answer
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    writer.flush().ok();
+    Ok(())
+}
+
+/// Decode and serve one frame. Returns `Ok(false)` when the connection
+/// should close (drain acknowledged).
+fn serve_line(
+    shared: &Shared,
+    line: &[u8],
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<bool> {
+    let decoded = match wire::decode_line(line) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.codec_errors.inc();
+            write_line(writer, &WireResponse::error(0, e.to_string()))?;
+            return Ok(true); // bad line, live connection
+        }
+    };
+    match decoded {
+        WireLine::Command(cmd) => match cmd.as_str() {
+            "ping" => {
+                write_line(writer, &WireResponse::ok_empty())?;
+                Ok(true)
+            }
+            "drain" => {
+                shared.begin_drain();
+                write_line(writer, &WireResponse::draining(0))?;
+                Ok(false)
+            }
+            other => {
+                write_line(
+                    writer,
+                    &WireResponse::error(0, format!("unknown command {other:?}")),
+                )?;
+                Ok(true)
+            }
+        },
+        WireLine::Request(wire_req) => {
+            let id = wire_req.id;
+            if let Some(known) = &shared.cfg.known_keys {
+                let key = format!("{}/{}", wire_req.topology, wire_req.protocol);
+                if !known.contains(&key) {
+                    shared.unknown_key.inc();
+                    write_line(
+                        writer,
+                        &WireResponse::error(id, format!("unknown deployment key {key}")),
+                    )?;
+                    return Ok(true);
+                }
+            }
+            let request = match wire_req.into_request() {
+                Ok(r) => r,
+                Err(e) => {
+                    shared.codec_errors.inc();
+                    write_line(writer, &WireResponse::error(id, e.to_string()))?;
+                    return Ok(true);
+                }
+            };
+            let accepted_at = Instant::now();
+            let shard = shared.ring.route(&request.key.to_string()) as usize;
+            match shared.services[shard].submit(request) {
+                Ok(pending) => {
+                    let response = pending.wait();
+                    shared.requests.inc();
+                    shared
+                        .latency_us
+                        .record(accepted_at.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    write_line(writer, &WireResponse::ok(response))?;
+                }
+                Err(SubmitError::Rejected { queue_depth }) => {
+                    shared.request_shed.inc();
+                    write_line(writer, &WireResponse::shed(id, queue_depth))?;
+                }
+                Err(SubmitError::Closed) => {
+                    write_line(writer, &WireResponse::error(id, "service shut down"))?;
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Write one response line and flush (responses are latency-sensitive;
+/// the BufWriter only batches within one call).
+fn write_line(writer: &mut BufWriter<TcpStream>, response: &WireResponse) -> std::io::Result<()> {
+    writer.write_all(response.encode().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

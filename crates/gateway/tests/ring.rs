@@ -1,0 +1,94 @@
+//! Consistent-hash ring properties the serving tier depends on: key→shard
+//! stability under shard add/remove (only ~1/N of the keyspace moves) and
+//! balanced ownership.
+
+use sam_gateway::prelude::*;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("topology-{i}/mr")).collect()
+}
+
+#[test]
+fn removing_a_shard_moves_only_its_keys() {
+    let before = HashRing::new(8, DEFAULT_REPLICAS);
+    let mut after = before.clone();
+    after.remove_shard(3);
+    assert_eq!(after.shard_count(), 7);
+
+    let keys = keys(10_000);
+    let mut moved = 0usize;
+    for key in &keys {
+        let old = before.route(key);
+        let new = after.route(key);
+        if old == 3 {
+            assert_ne!(new, 3, "removed shard still owns {key}");
+            moved += 1;
+        } else {
+            // The defining property: keys not on the removed shard are
+            // untouched.
+            assert_eq!(old, new, "{key} moved although shard 3 left");
+        }
+    }
+    // Shard 3 owned roughly 1/8 of the keyspace; allow generous slack for
+    // hash dispersion but reject a full reshuffle.
+    assert!(
+        moved > keys.len() / 32 && moved < keys.len() / 4,
+        "expected ~1/8 of {} keys to move, got {moved}",
+        keys.len()
+    );
+}
+
+#[test]
+fn adding_a_shard_takes_only_its_keys() {
+    let before = HashRing::new(7, DEFAULT_REPLICAS);
+    let mut after = before.clone();
+    after.add_shard(7);
+    assert_eq!(after.shard_count(), 8);
+
+    let keys = keys(10_000);
+    let mut moved = 0usize;
+    for key in &keys {
+        let old = before.route(key);
+        let new = after.route(key);
+        if new != old {
+            assert_eq!(new, 7, "{key} moved to a shard that did not join");
+            moved += 1;
+        }
+    }
+    assert!(
+        moved > keys.len() / 32 && moved < keys.len() / 4,
+        "expected the new shard to take ~1/8 of {} keys, got {moved}",
+        keys.len()
+    );
+}
+
+#[test]
+fn add_then_remove_restores_the_original_mapping() {
+    let original = HashRing::new(5, DEFAULT_REPLICAS);
+    let mut ring = original.clone();
+    ring.add_shard(9);
+    ring.remove_shard(9);
+    for key in keys(2_000) {
+        assert_eq!(original.route(&key), ring.route(&key));
+    }
+}
+
+#[test]
+fn ownership_is_roughly_balanced() {
+    let ring = HashRing::new(4, DEFAULT_REPLICAS);
+    let mut owned = [0usize; 4];
+    let keys = keys(20_000);
+    for key in &keys {
+        owned[ring.route(key) as usize] += 1;
+    }
+    let expected = keys.len() / 4;
+    for (shard, &count) in owned.iter().enumerate() {
+        // With 64 virtual points per shard the spread stays well within
+        // 2x of fair share.
+        assert!(
+            count > expected / 2 && count < expected * 2,
+            "shard {shard} owns {count} of {} keys (fair share {expected})",
+            keys.len()
+        );
+    }
+}

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod report;
 pub mod request;
 pub mod service;
+pub mod wire;
 
 /// The service-facing surface in one import.
 pub mod prelude {
@@ -53,4 +54,7 @@ pub mod prelude {
         DetectionRequest, DetectionResponse, ProfileKey, SubmitError, Verdict,
     };
     pub use crate::service::{DetectionService, Pending, ServiceConfig};
+    pub use crate::wire::{
+        decode_line, FrameError, FrameReader, WireError, WireLine, WireRequest, WireResponse,
+    };
 }

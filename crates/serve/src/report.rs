@@ -21,8 +21,17 @@ pub struct LoadgenSummary {
     pub requests: u64,
     /// Responses received.
     pub completed: u64,
-    /// Requests shed by backpressure.
+    /// Requests shed by the *service* (protocol `"shed"` responses in
+    /// remote mode, [`SubmitError::Rejected`](crate::request::SubmitError)
+    /// locally). Deliberate overload behaviour — never lumped in with
+    /// transport failures.
     pub shed: u64,
+    /// Connection-level failures in remote mode: connects that never
+    /// succeeded, sockets that died mid-soak, unparseable response lines,
+    /// and requests whose response never arrived. Always 0 in-process.
+    /// Kept separate from `shed` so soak numbers distinguish "the service
+    /// protected itself" from "the transport lost work".
+    pub transport_errors: u64,
     /// Accepted requests whose response never came back (always 0 unless
     /// the response accounting is broken).
     pub dropped_responses: u64,
@@ -59,12 +68,13 @@ impl fmt::Display for LoadgenSummary {
         writeln!(
             f,
             "loadgen: {} requests in {:.2}s — {:.0} req/s ({} completed, {} shed, \
-             {} dropped responses, {} confirmed attacks)",
+             {} transport errors, {} dropped responses, {} confirmed attacks)",
             self.requests,
             self.bench.wall_s,
             self.completed as f64 / self.bench.wall_s,
             self.completed,
             self.shed,
+            self.transport_errors,
             self.dropped_responses,
             self.confirmed
         )?;
@@ -93,8 +103,9 @@ mod tests {
         LoadgenSummary {
             kind: "loadgen_summary".to_string(),
             requests: 100,
-            completed: 98,
+            completed: 97,
             shed: 2,
+            transport_errors: 1,
             dropped_responses: 0,
             confirmed: 30,
             explained: 98,
@@ -125,6 +136,8 @@ mod tests {
         assert_eq!(back.requests, 100);
         assert_eq!(back.bench.name, "loadgen");
         assert_eq!(back.cache_hits(), 7);
+        assert_eq!(back.shed, 2, "service shed kept separate");
+        assert_eq!(back.transport_errors, 1, "transport failures kept separate");
     }
 
     #[test]

@@ -140,16 +140,29 @@ impl DetectionService {
     /// Start the worker pool. `profiles` trains (or loads) the normal
     /// profile for a key on first sight; results are cached.
     pub fn start(cfg: ServiceConfig, profiles: ProfileSource) -> Self {
-        assert!(cfg.workers >= 1, "need at least one worker");
-        assert!(cfg.queue_capacity >= 1, "need queue capacity >= 1");
-        assert!(cfg.max_batch >= 1, "need max_batch >= 1");
-
         // All instruments live in one registry: the process-global one
         // when telemetry is installed (so `serve.*` shows up in exported
         // snapshots), a private one otherwise.
         let registry = sam_telemetry::global()
             .map(|t| t.registry().clone())
             .unwrap_or_default();
+        Self::start_with_registry(cfg, profiles, registry)
+    }
+
+    /// Like [`start`](Self::start), but recording into an explicit
+    /// `registry` instead of the global-or-private default. A multi-shard
+    /// embedder (the gateway) passes its own registry to every shard so
+    /// all `serve.*` instruments aggregate alongside its own, regardless
+    /// of whether process-global telemetry is installed.
+    pub fn start_with_registry(
+        cfg: ServiceConfig,
+        profiles: ProfileSource,
+        registry: Arc<Registry>,
+    ) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.queue_capacity >= 1, "need queue capacity >= 1");
+        assert!(cfg.max_batch >= 1, "need max_batch >= 1");
+
         let cache = Arc::new(ProfileCache::with_counters(
             cfg.cache_capacity,
             registry.counter("serve.cache_hits"),

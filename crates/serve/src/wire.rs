@@ -1,0 +1,524 @@
+//! The gateway wire protocol: newline-delimited JSON with length-guarded
+//! framing and typed decode errors.
+//!
+//! This module is transport-free — it works over any [`BufRead`] — so the
+//! same codec serves `sam-gateway`'s connection handlers, `loadgen
+//! --remote`'s client threads, and pure in-memory property tests.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line, `\n`-terminated (a trailing `\r` is
+//! tolerated; blank lines are skipped). Three line shapes:
+//!
+//! **Request** — a detection request:
+//!
+//! ```json
+//! {"id":7,"topology":"uniform6x6","protocol":"mr","routes":[[0,3,9,11],[0,4,8,11]],"probe_ack_ratio":null}
+//! ```
+//!
+//! **Command** — a control message (`{"cmd":"ping"}`, `{"cmd":"drain"}`).
+//!
+//! **Response** — the server's answer, one line per request, in request
+//! order per connection:
+//!
+//! ```json
+//! {"id":7,"status":"ok","verdict":{...},"profile_cache_hit":true,"explanation":null,"queue_depth":null,"error":null}
+//! {"id":8,"status":"shed","verdict":null,"profile_cache_hit":null,"explanation":null,"queue_depth":256,"error":null}
+//! ```
+//!
+//! `status` is `"ok"`, `"shed"` (the 503-style overload signal, carrying
+//! the queue depth the request collided with), `"draining"` (drain
+//! acknowledged; the socket will close), or `"error"` (malformed input;
+//! `error` holds the reason, `id` is 0 when the line never parsed far
+//! enough to have one).
+//!
+//! ## Framing guarantees
+//!
+//! [`FrameReader`] never buffers more than `max_line` bytes of an
+//! unterminated line: an oversized frame is rejected with
+//! [`FrameError::TooLong`] *before* the rest of it is read, and EOF in
+//! the middle of a line is a typed [`FrameError::Truncated`], not a
+//! silent partial decode. Reads interrupted by socket timeouts surface
+//! the [`io::Error`] and preserve the partial line, so a later call
+//! resumes exactly where the stream stopped.
+
+use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, Verdict};
+use manet_routing::Route;
+use manet_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead};
+
+/// Default cap on one encoded line, request or response (1 MiB).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// `status` of a successfully served request.
+pub const STATUS_OK: &str = "ok";
+/// `status` of a request shed by overload (503-equivalent).
+pub const STATUS_SHED: &str = "shed";
+/// `status` acknowledging a `drain` command.
+pub const STATUS_DRAINING: &str = "draining";
+/// `status` of a line the server could not serve.
+pub const STATUS_ERROR: &str = "error";
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be produced.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A line exceeded the length cap. The reader stopped consuming the
+    /// moment the cap was crossed — the remainder of the oversized line
+    /// was never buffered. The connection cannot resynchronize and must
+    /// be closed.
+    TooLong {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// The stream ended mid-line: `partial` bytes arrived with no
+    /// terminating newline.
+    Truncated {
+        /// Bytes of the unterminated line.
+        partial: usize,
+    },
+    /// The underlying read failed. `WouldBlock`/`TimedOut` are the benign
+    /// socket-timeout cases: the partial line is preserved and the next
+    /// call resumes.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong { limit } => write!(f, "frame exceeds {limit} bytes"),
+            FrameError::Truncated { partial } => {
+                write!(f, "stream ended mid-line ({partial} bytes unterminated)")
+            }
+            FrameError::Io(e) => write!(f, "read error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Whether this is a socket-timeout interruption the caller should
+    /// retry rather than a real failure.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// A length-guarded line framer over any [`BufRead`].
+///
+/// Partial-line state lives in the reader, so a socket read timeout in
+/// the middle of a line loses nothing: the error is surfaced, and the
+/// next [`next_frame`](FrameReader::next_frame) call continues from the
+/// bytes already consumed.
+pub struct FrameReader<R> {
+    inner: R,
+    partial: Vec<u8>,
+    max_line: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Frame `inner` with lines capped at `max_line` bytes.
+    pub fn new(inner: R, max_line: usize) -> Self {
+        FrameReader {
+            inner,
+            partial: Vec::new(),
+            max_line,
+        }
+    }
+
+    /// The next complete line (without its terminator), `Ok(None)` at a
+    /// clean EOF.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            let buf = match self.inner.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            };
+            if buf.is_empty() {
+                if self.partial.is_empty() {
+                    return Ok(None);
+                }
+                return Err(FrameError::Truncated {
+                    partial: self.partial.len(),
+                });
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.partial.len() + pos > self.max_line {
+                        return Err(FrameError::TooLong {
+                            limit: self.max_line,
+                        });
+                    }
+                    let mut line = std::mem::take(&mut self.partial);
+                    line.extend_from_slice(&buf[..pos]);
+                    self.inner.consume(pos + 1);
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    if line.is_empty() {
+                        continue; // tolerate keepalive blank lines
+                    }
+                    return Ok(Some(line));
+                }
+                None => {
+                    let n = buf.len();
+                    if self.partial.len() + n > self.max_line {
+                        // Reject before buffering the oversized remainder.
+                        return Err(FrameError::TooLong {
+                            limit: self.max_line,
+                        });
+                    }
+                    self.partial.extend_from_slice(buf);
+                    self.inner.consume(n);
+                }
+            }
+        }
+    }
+
+    /// Bytes of unterminated line currently held (diagnostics/tests).
+    pub fn partial_len(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line decoding
+// ---------------------------------------------------------------------------
+
+/// Why a framed line could not be decoded into a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The line is not UTF-8.
+    Utf8,
+    /// The line is not valid JSON, or not the expected object shape.
+    Json(String),
+    /// A route failed validation (too short, or a repeated node).
+    Route {
+        /// Index of the offending route within `routes`.
+        index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Utf8 => write!(f, "line is not UTF-8"),
+            WireError::Json(e) => write!(f, "bad JSON: {e}"),
+            WireError::Route { index, reason } => {
+                write!(f, "invalid route at index {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One detection request as it crosses the wire. Flat key fields keep the
+/// protocol self-describing; routes are plain node-id arrays, validated
+/// into [`Route`]s (no short or looped paths) on decode.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Deployment topology family (profile-cache key part).
+    pub topology: String,
+    /// Routing protocol identifier (profile-cache key part).
+    pub protocol: String,
+    /// Node-id sequences of the discovered routes.
+    pub routes: Vec<Vec<u32>>,
+    /// Observed probe ACK ratio, if the requester probed (see
+    /// [`DetectionRequest::probe_ack_ratio`]).
+    pub probe_ack_ratio: Option<f64>,
+}
+
+impl WireRequest {
+    /// Flatten a service request for the wire.
+    pub fn from_request(req: &DetectionRequest) -> Self {
+        WireRequest {
+            id: req.id,
+            topology: req.key.topology.clone(),
+            protocol: req.key.protocol.clone(),
+            routes: req
+                .routes
+                .iter()
+                .map(|r| r.nodes().iter().map(|n| n.0).collect())
+                .collect(),
+            probe_ack_ratio: req.probe_ack_ratio,
+        }
+    }
+
+    /// Validate into a service request. Every route must satisfy the
+    /// [`Route`] invariants — wire input never bypasses them.
+    pub fn into_request(self) -> Result<DetectionRequest, WireError> {
+        let mut routes = Vec::with_capacity(self.routes.len());
+        for (index, ids) in self.routes.into_iter().enumerate() {
+            let route = Route::new(ids.into_iter().map(NodeId).collect()).map_err(|e| {
+                WireError::Route {
+                    index,
+                    reason: e.to_string(),
+                }
+            })?;
+            routes.push(route);
+        }
+        Ok(DetectionRequest {
+            id: self.id,
+            key: ProfileKey::new(self.topology, self.protocol),
+            routes,
+            probe_ack_ratio: self.probe_ack_ratio,
+        })
+    }
+
+    /// Encode as one protocol line (no terminator).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("wire request serializes")
+    }
+}
+
+/// A successfully decoded protocol line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireLine {
+    /// A detection request (unvalidated routes — call
+    /// [`WireRequest::into_request`]).
+    Request(Box<WireRequest>),
+    /// A control command (`"ping"`, `"drain"`, …).
+    Command(String),
+}
+
+/// Decode one framed line into a request or command.
+pub fn decode_line(bytes: &[u8]) -> Result<WireLine, WireError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| WireError::Utf8)?;
+    let value: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| WireError::Json(e.to_string()))?;
+    if let Some(cmd) = value.field("cmd") {
+        let cmd = cmd
+            .as_str()
+            .ok_or_else(|| WireError::Json("\"cmd\" must be a string".to_string()))?;
+        return Ok(WireLine::Command(cmd.to_string()));
+    }
+    <WireRequest as serde::Deserialize>::from_value(&value)
+        .map(|req| WireLine::Request(Box::new(req)))
+        .map_err(|e| WireError::Json(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One response line. A flat struct (rather than an enum) keeps every
+/// field addressable by `jq` without knowing the variant encoding; the
+/// `status` constants above discriminate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Correlation id from the request (0 when the line had none).
+    pub id: u64,
+    /// `"ok"`, `"shed"`, `"draining"`, or `"error"`.
+    pub status: String,
+    /// The verdict, on `"ok"`.
+    pub verdict: Option<Verdict>,
+    /// Whether the profile came from the shard's cache, on `"ok"`.
+    pub profile_cache_hit: Option<bool>,
+    /// The verdict explanation, when the gateway runs with explanations
+    /// enabled.
+    pub explanation: Option<sam::Explanation>,
+    /// Queue depth observed at shed time, on `"shed"`.
+    pub queue_depth: Option<u64>,
+    /// Failure reason, on `"error"`.
+    pub error: Option<String>,
+}
+
+impl WireResponse {
+    /// A served verdict.
+    pub fn ok(resp: DetectionResponse) -> Self {
+        WireResponse {
+            id: resp.id,
+            status: STATUS_OK.to_string(),
+            verdict: Some(resp.verdict),
+            profile_cache_hit: Some(resp.profile_cache_hit),
+            explanation: resp.explanation,
+            queue_depth: None,
+            error: None,
+        }
+    }
+
+    /// A verdict-free `"ok"` — the `ping` reply.
+    pub fn ok_empty() -> Self {
+        WireResponse {
+            id: 0,
+            status: STATUS_OK.to_string(),
+            verdict: None,
+            profile_cache_hit: None,
+            explanation: None,
+            queue_depth: None,
+            error: None,
+        }
+    }
+
+    /// The overload signal: request `id` was shed at `queue_depth`.
+    pub fn shed(id: u64, queue_depth: usize) -> Self {
+        WireResponse {
+            id,
+            status: STATUS_SHED.to_string(),
+            verdict: None,
+            profile_cache_hit: None,
+            explanation: None,
+            queue_depth: Some(queue_depth as u64),
+            error: None,
+        }
+    }
+
+    /// Drain acknowledged.
+    pub fn draining(id: u64) -> Self {
+        WireResponse {
+            id,
+            status: STATUS_DRAINING.to_string(),
+            verdict: None,
+            profile_cache_hit: None,
+            explanation: None,
+            queue_depth: None,
+            error: None,
+        }
+    }
+
+    /// A typed failure for line `id` (0 when unknown).
+    pub fn error(id: u64, reason: impl Into<String>) -> Self {
+        WireResponse {
+            id,
+            status: STATUS_ERROR.to_string(),
+            verdict: None,
+            profile_cache_hit: None,
+            explanation: None,
+            queue_depth: None,
+            error: Some(reason.into()),
+        }
+    }
+
+    /// Encode as one protocol line (no terminator).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("wire response serializes")
+    }
+
+    /// Decode a response line (the client side of the protocol).
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| WireError::Utf8)?;
+        serde_json::from_str(text).map_err(|e| WireError::Json(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(id: u64) -> WireRequest {
+        WireRequest {
+            id,
+            topology: "uniform6x6".to_string(),
+            protocol: "mr".to_string(),
+            routes: vec![vec![0, 3, 9, 11], vec![0, 4, 8, 11]],
+            probe_ack_ratio: if id.is_multiple_of(2) {
+                None
+            } else {
+                Some(0.25)
+            },
+        }
+    }
+
+    #[test]
+    fn request_lines_round_trip_through_framer_and_decoder() {
+        let wire: String = (0..5).map(|i| req(i).encode() + "\n").collect();
+        let mut reader = FrameReader::new(Cursor::new(wire.into_bytes()), MAX_LINE_BYTES);
+        for i in 0..5 {
+            let line = reader.next_frame().unwrap().expect("frame present");
+            match decode_line(&line).unwrap() {
+                WireLine::Request(r) => assert_eq!(*r, req(i)),
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+        assert!(reader.next_frame().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn validation_rejects_looped_and_short_routes() {
+        let mut bad = req(1);
+        bad.routes.push(vec![7]);
+        match bad.clone().into_request() {
+            Err(WireError::Route { index: 2, .. }) => {}
+            other => panic!("expected short-route error, got {other:?}"),
+        }
+        bad.routes[2] = vec![0, 5, 5, 9];
+        match bad.into_request() {
+            Err(WireError::Route { index: 2, reason }) => {
+                assert!(reason.contains("twice"), "{reason}")
+            }
+            other => panic!("expected loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commands_and_garbage_decode_as_typed_results() {
+        match decode_line(b"{\"cmd\":\"drain\"}").unwrap() {
+            WireLine::Command(c) => assert_eq!(c, "drain"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            decode_line(b"{\"cmd\":7}"),
+            Err(WireError::Json(_))
+        ));
+        assert!(matches!(decode_line(b"not json"), Err(WireError::Json(_))));
+        assert!(matches!(decode_line(&[0xFF, 0xFE]), Err(WireError::Utf8)));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_without_buffering_the_rest() {
+        // 64 KiB of 'a' with no newline, capped at 1 KiB: the reader must
+        // give up within one fill_buf of the cap, not swallow the lot.
+        let blob = vec![b'a'; 64 * 1024];
+        let mut reader = FrameReader::new(Cursor::new(blob), 1024);
+        match reader.next_frame() {
+            Err(FrameError::TooLong { limit: 1024 }) => {}
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        assert!(
+            reader.partial_len() <= 1024,
+            "buffered {} bytes past the cap",
+            reader.partial_len()
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_error() {
+        let mut reader = FrameReader::new(Cursor::new(b"{\"id\":1".to_vec()), MAX_LINE_BYTES);
+        match reader.next_frame() {
+            Err(FrameError::Truncated { partial: 7 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_carry_shed_depth() {
+        let shed = WireResponse::shed(9, 256);
+        let back = WireResponse::decode(shed.encode().as_bytes()).unwrap();
+        assert_eq!(back.status, STATUS_SHED);
+        assert_eq!(back.id, 9);
+        assert_eq!(back.queue_depth, Some(256));
+        let err = WireResponse::error(0, "bad JSON: trailing characters");
+        let back = WireResponse::decode(err.encode().as_bytes()).unwrap();
+        assert_eq!(back.status, STATUS_ERROR);
+        assert!(back.error.unwrap().contains("trailing"));
+    }
+}
