@@ -5,7 +5,8 @@
 //! sam-gateway [--addr HOST:PORT] [--shards N] [--replicas N]
 //!             [--workers N] [--queue N] [--batch N] [--cache N]
 //!             [--max-conns N] [--backlog N] [--explain]
-//!             [--telemetry PATH]
+//!             [--telemetry PATH] [--stats-interval-ms N]
+//!             [--slo-p99-us N] [--slow-request-us N]
 //! ```
 //!
 //! Profiles train on demand from the shared serving catalogue
@@ -44,6 +45,9 @@ struct Args {
     backlog: usize,
     explain: bool,
     telemetry: Option<String>,
+    stats_interval_ms: u64,
+    slo_p99_us: Option<u64>,
+    slow_request_us: Option<u64>,
 }
 
 impl Default for Args {
@@ -61,6 +65,9 @@ impl Default for Args {
             backlog: 128,
             explain: false,
             telemetry: None,
+            stats_interval_ms: 1000,
+            slo_p99_us: None,
+            slow_request_us: None,
         }
     }
 }
@@ -89,6 +96,9 @@ fn parse_args() -> Result<Args, String> {
             "--backlog" => args.backlog = parse!("--backlog"),
             "--explain" => args.explain = true,
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+            "--stats-interval-ms" => args.stats_interval_ms = parse!("--stats-interval-ms"),
+            "--slo-p99-us" => args.slo_p99_us = Some(parse!("--slo-p99-us")),
+            "--slow-request-us" => args.slow_request_us = Some(parse!("--slow-request-us")),
             "--help" | "-h" => {
                 println!(
                     "sam-gateway: TCP/JSONL front-end for SAM detection\n\n\
@@ -103,7 +113,10 @@ fn parse_args() -> Result<Args, String> {
                      --max-conns N     concurrent connections served (default 64)\n  \
                      --backlog N       accepted connections buffered before shedding (default 128)\n  \
                      --explain         attach verdict explanations to responses\n  \
-                     --telemetry PATH  write spans + final snapshot as JSONL on exit",
+                     --telemetry PATH  write spans + final snapshot as JSONL on exit\n  \
+                     --stats-interval-ms N  window-ring sampling period (default 1000)\n  \
+                     --slo-p99-us N    latency SLO; slower requests count into slo_burn\n  \
+                     --slow-request-us N  log requests slower than this as telemetry events",
                     DEFAULT_REPLICAS
                 );
                 std::process::exit(0);
@@ -116,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.max_conns == 0 || args.backlog == 0 || args.replicas == 0 {
         return Err("--max-conns, --backlog, and --replicas must be at least 1".into());
+    }
+    if args.stats_interval_ms == 0 {
+        return Err("--stats-interval-ms must be at least 1".into());
     }
     Ok(args)
 }
@@ -168,6 +184,9 @@ fn main() -> ExitCode {
         max_conns: args.max_conns,
         backlog: args.backlog,
         known_keys: Some(catalogue().iter().map(Deployment::key_string).collect()),
+        stats_interval: Duration::from_millis(args.stats_interval_ms),
+        slo_p99_us: args.slo_p99_us,
+        slow_request_us: args.slow_request_us,
         ..GatewayConfig::default()
     };
 

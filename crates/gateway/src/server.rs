@@ -50,11 +50,12 @@ use crate::ring::{HashRing, DEFAULT_REPLICAS};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
+use sam_serve::stats::{ShardStats, StatsReport, StatsTotals, WindowStats, DEFAULT_WINDOWS_S};
 use sam_serve::wire::{self, FrameError, FrameReader, WireLine, WireResponse};
-use sam_telemetry::{Counter, Gauge, Histogram, Registry};
+use sam_telemetry::{Counter, Gauge, Histogram, Registry, WindowRing, DEFAULT_WINDOW_SLOTS};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -88,6 +89,21 @@ pub struct GatewayConfig {
     /// `"error"` response instead of triggering profile training — the
     /// front door never trains on keys it has never heard of.
     pub known_keys: Option<Vec<String>>,
+    /// How often the stats sampler pushes a registry snapshot into the
+    /// window ring. The ring holds [`DEFAULT_WINDOW_SLOTS`] samples, so
+    /// this also bounds the longest answerable window (64 slots × 1s
+    /// covers the default 60s window).
+    pub stats_interval: Duration,
+    /// Latency SLO: requests slower than this count into
+    /// `gateway.slo_violations`, and each window's `slo_burn` is the
+    /// fraction of its requests that crossed it. `None` disables the
+    /// burn accounting.
+    pub slo_p99_us: Option<u64>,
+    /// Slow-request threshold: requests slower than this emit a
+    /// `gateway.slow_request` telemetry event (deployment key, shard,
+    /// stage breakdown) when global telemetry is installed, and count
+    /// into `gateway.slow_requests`. `None` disables the logging.
+    pub slow_request_us: Option<u64>,
 }
 
 impl Default for GatewayConfig {
@@ -103,6 +119,9 @@ impl Default for GatewayConfig {
             drain_grace: Duration::from_secs(5),
             max_line_bytes: wire::MAX_LINE_BYTES,
             known_keys: None,
+            stats_interval: Duration::from_secs(1),
+            slo_p99_us: None,
+            slow_request_us: None,
         }
     }
 }
@@ -128,11 +147,28 @@ struct Shared {
     unknown_key: Arc<Counter>,
     active_conns: Arc<Gauge>,
     latency_us: Arc<Histogram>,
+    serialize_us: Arc<Histogram>,
+    slo_violations: Arc<Counter>,
+    slow_requests: Arc<Counter>,
+    /// Requests routed per shard (live shard view for `stats`; plain
+    /// atomics, not registry counters, because the breakdown is
+    /// positional, not named).
+    shard_requests: Vec<AtomicU64>,
+    /// The stats sampler's snapshot ring; `now_us` timestamps count from
+    /// `started`.
+    window_ring: WindowRing,
+    started: Instant,
+    stop_sampler: AtomicBool,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Microseconds since the gateway started — the window ring's clock.
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u64::MAX as u128) as u64
     }
 
     fn begin_drain(&self) {
@@ -168,6 +204,7 @@ pub struct Gateway {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     conn_workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Gateway {
@@ -219,9 +256,27 @@ impl Gateway {
             unknown_key: registry.counter("gateway.unknown_key"),
             active_conns: registry.gauge("gateway.active_conns"),
             latency_us: registry.histogram_pow2("gateway.request_latency_us"),
+            serialize_us: registry.histogram_pow2("gateway.serialize_us"),
+            slo_violations: registry.counter("gateway.slo_violations"),
+            slow_requests: registry.counter("gateway.slow_requests"),
+            shard_requests: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+            window_ring: WindowRing::new(DEFAULT_WINDOW_SLOTS),
+            started: Instant::now(),
+            stop_sampler: AtomicBool::new(false),
             registry: registry.clone(),
             cfg,
         });
+        // Seed the ring so stats are answerable from the first request:
+        // the baseline-at-start slot makes every early query a
+        // since-start delta until real samples accumulate.
+        shared.window_ring.push(0, shared.registry.snapshot());
+        let sampler = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("sam-gw-stats".to_string())
+                .spawn(move || sampler_loop(shared))
+                .expect("spawn stats sampler")
+        };
 
         let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.backlog);
         let conn_workers = (0..shared.cfg.max_conns)
@@ -247,6 +302,7 @@ impl Gateway {
             local_addr,
             acceptor: Some(acceptor),
             conn_workers,
+            sampler: Some(sampler),
         })
     }
 
@@ -258,6 +314,13 @@ impl Gateway {
     /// The registry holding every `gateway.*` and `serve.*` instrument.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
+    }
+
+    /// The same windowed report `{"cmd":"stats"}` answers, queried
+    /// in-process. `window_s` narrows to one window; `None` answers the
+    /// default 1s/10s/60s set.
+    pub fn stats(&self, window_s: Option<u64>) -> StatsReport {
+        build_stats(&self.shared, window_s)
     }
 
     /// Whether drain has begun (via [`begin_drain`](Gateway::begin_drain)
@@ -284,6 +347,10 @@ impl Gateway {
         for h in self.conn_workers.drain(..) {
             let _ = h.join();
         }
+        self.shared.stop_sampler.store(true, Ordering::Release);
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
         let snapshot = self.shared.registry.snapshot();
         // Every thread has returned, so `self.shared` is the last handle:
         // dropping it drops the shard services, whose own Drop flushes
@@ -303,8 +370,78 @@ impl Drop for Gateway {
         for h in self.conn_workers.drain(..) {
             let _ = h.join();
         }
+        self.shared.stop_sampler.store(true, Ordering::Release);
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
         // Shard services shut down via their own Drop when `shared`
         // releases its last reference.
+    }
+}
+
+/// The stats sampler: push a cumulative snapshot into the window ring
+/// every `stats_interval`, sleeping in short ticks so shutdown is never
+/// blocked on a full interval.
+fn sampler_loop(shared: Arc<Shared>) {
+    let tick = shared.cfg.stats_interval.min(Duration::from_millis(50));
+    let mut next = shared.started + shared.cfg.stats_interval;
+    loop {
+        if shared.stop_sampler.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(tick.min(next - now));
+            continue;
+        }
+        shared
+            .window_ring
+            .push(shared.now_us(), shared.registry.snapshot());
+        next += shared.cfg.stats_interval;
+        // A stalled host (suspend, debugger) may owe many intervals;
+        // skip them rather than burst-pushing stale duplicates.
+        if next < now {
+            next = now + shared.cfg.stats_interval;
+        }
+    }
+}
+
+/// Assemble the answer to `{"cmd":"stats"}`: live shard state, the
+/// requested rolling windows, and cumulative totals.
+fn build_stats(shared: &Shared, window_s: Option<u64>) -> StatsReport {
+    let now = shared.registry.snapshot();
+    let now_us = shared.now_us();
+    let windows_s: Vec<u64> = match window_s {
+        Some(w) => vec![w.max(1)],
+        None => DEFAULT_WINDOWS_S.to_vec(),
+    };
+    let windows = windows_s
+        .into_iter()
+        .filter_map(|w| {
+            shared
+                .window_ring
+                .delta_over(&now, now_us, w.saturating_mul(1_000_000))
+                .map(|d| WindowStats::from_delta(w, &d))
+        })
+        .collect();
+    let shards = shared
+        .services
+        .iter()
+        .enumerate()
+        .map(|(i, svc)| ShardStats {
+            shard: i as u64,
+            queue_depth: svc.queue_depth() as u64,
+            requests: shared.shard_requests[i].load(Ordering::Relaxed),
+        })
+        .collect();
+    StatsReport {
+        kind: "stats".to_string(),
+        uptime_s: shared.started.elapsed().as_secs_f64(),
+        draining: shared.draining(),
+        slo_p99_us: shared.cfg.slo_p99_us,
+        shards,
+        windows,
+        totals: StatsTotals::from_snapshot(&now),
     }
 }
 
@@ -440,7 +577,7 @@ fn serve_line(
         }
     };
     match decoded {
-        WireLine::Command(cmd) => match cmd.as_str() {
+        WireLine::Command(cmd) => match cmd.cmd.as_str() {
             "ping" => {
                 write_line(writer, &WireResponse::ok_empty())?;
                 Ok(true)
@@ -449,6 +586,23 @@ fn serve_line(
                 shared.begin_drain();
                 write_line(writer, &WireResponse::draining(0))?;
                 Ok(false)
+            }
+            "stats" => {
+                let text = match cmd.format.as_deref() {
+                    None | Some("json") => None,
+                    Some("prometheus") => Some(()),
+                    Some(other) => {
+                        write_line(
+                            writer,
+                            &WireResponse::error(0, format!("unknown stats format {other:?}")),
+                        )?;
+                        return Ok(true);
+                    }
+                };
+                let report = build_stats(shared, cmd.window_s);
+                let text = text.map(|()| report.to_prometheus());
+                write_line(writer, &WireResponse::stats(report, text))?;
+                Ok(true)
             }
             other => {
                 write_line(
@@ -460,6 +614,7 @@ fn serve_line(
         },
         WireLine::Request(wire_req) => {
             let id = wire_req.id;
+            let want_timings = wire_req.timings;
             if let Some(known) = &shared.cfg.known_keys {
                 let key = format!("{}/{}", wire_req.topology, wire_req.protocol);
                 if !known.contains(&key) {
@@ -480,15 +635,49 @@ fn serve_line(
                 }
             };
             let accepted_at = Instant::now();
-            let shard = shared.ring.route(&request.key.to_string()) as usize;
+            let key = request.key.to_string();
+            let shard = shared.ring.route(&key) as usize;
             match shared.services[shard].submit(request) {
                 Ok(pending) => {
                     let response = pending.wait();
                     shared.requests.inc();
-                    shared
-                        .latency_us
-                        .record(accepted_at.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                    write_line(writer, &WireResponse::ok(response))?;
+                    shared.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+                    let total_us = accepted_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    shared.latency_us.record(total_us);
+                    if matches!(shared.cfg.slo_p99_us, Some(slo) if total_us > slo) {
+                        shared.slo_violations.inc();
+                    }
+                    let mut timing = response.timing;
+                    let wire_resp = WireResponse::ok(response);
+                    // Encoding doubles as the serialize-stage measurement;
+                    // when the client asked for timings the line is
+                    // re-encoded with the breakdown attached (the only
+                    // request path that pays the double encode).
+                    let encode_started = Instant::now();
+                    let mut encoded = wire_resp.encode();
+                    timing.serialize_us =
+                        encode_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    shared.serialize_us.record(timing.serialize_us);
+                    if want_timings {
+                        encoded = wire_resp.with_timings(timing).encode();
+                    }
+                    if matches!(shared.cfg.slow_request_us, Some(t) if total_us > t) {
+                        shared.slow_requests.inc();
+                        if let Some(tel) = sam_telemetry::global() {
+                            tel.event(
+                                "gateway.slow_request",
+                                &[
+                                    ("key", key.as_str()),
+                                    ("shard", &shard.to_string()),
+                                    ("total_us", &total_us.to_string()),
+                                    ("queue_wait_us", &timing.queue_wait_us.to_string()),
+                                    ("compute_us", &timing.compute_us.to_string()),
+                                    ("serialize_us", &timing.serialize_us.to_string()),
+                                ],
+                            );
+                        }
+                    }
+                    write_encoded_line(writer, &encoded)?;
                 }
                 Err(SubmitError::Rejected { queue_depth }) => {
                     shared.request_shed.inc();
@@ -507,7 +696,13 @@ fn serve_line(
 /// Write one response line and flush (responses are latency-sensitive;
 /// the BufWriter only batches within one call).
 fn write_line(writer: &mut BufWriter<TcpStream>, response: &WireResponse) -> std::io::Result<()> {
-    writer.write_all(response.encode().as_bytes())?;
+    write_encoded_line(writer, &response.encode())
+}
+
+/// Write an already-encoded response line and flush (the served-request
+/// path encodes early to time the serialize stage).
+fn write_encoded_line(writer: &mut BufWriter<TcpStream>, encoded: &str) -> std::io::Result<()> {
+    writer.write_all(encoded.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }

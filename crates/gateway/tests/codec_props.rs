@@ -75,7 +75,7 @@ proptest! {
             let line = reader.next_frame().expect("frame").expect("line present");
             match decode_line(&line).expect("decode") {
                 WireLine::Request(decoded) => prop_assert_eq!(&*decoded, req),
-                WireLine::Command(c) => panic!("request decoded as command {c}"),
+                WireLine::Command(c) => panic!("request decoded as command {c:?}"),
             }
         }
         prop_assert!(reader.next_frame().expect("clean EOF").is_none());
@@ -153,7 +153,7 @@ proptest! {
             WireLine::Request(decoded) => {
                 prop_assert!(decoded.into_request().is_err(), "looped route accepted");
             }
-            WireLine::Command(c) => panic!("request decoded as command {c}"),
+            WireLine::Command(c) => panic!("request decoded as command {c:?}"),
         }
     }
 }

@@ -100,6 +100,7 @@ pub fn wire_request(id: u64) -> WireRequest {
         } else {
             None
         },
+        timings: false,
     }
 }
 

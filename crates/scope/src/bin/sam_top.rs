@@ -1,0 +1,160 @@
+//! `sam-top`: a live plain-text dashboard over a running `sam-gateway`.
+//!
+//! ```text
+//! sam-top [--addr HOST:PORT] [--interval-ms N] [--window S]
+//!         [--polls N] [--json] [--prometheus]
+//! ```
+//!
+//! Polls the gateway's `{"cmd":"stats"}` wire command and redraws a
+//! one-screen summary: windowed throughput, latency percentiles, shed
+//! rate, cache hit ratio, per-shard queue depths and imbalance, and a
+//! sparkline of recent throughput. The connection is made fresh per poll,
+//! so the dashboard survives gateway restarts and never holds a
+//! connection slot between frames.
+//!
+//! `--json` and `--prometheus` are one-shot modes for scripts: fetch
+//! once, print the report (JSON or Prometheus text exposition) to
+//! stdout, exit 0 — or exit 1 with the error on stderr.
+
+use sam_scope::Dashboard;
+use sam_serve::stats::fetch_stats;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Give up after this many consecutive failed polls in dashboard mode.
+const MAX_CONSECUTIVE_FAILURES: u32 = 5;
+
+struct Args {
+    addr: String,
+    interval_ms: u64,
+    window: Option<u64>,
+    polls: Option<u64>,
+    json: bool,
+    prometheus: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7700".to_string(),
+            interval_ms: 1000,
+            window: None,
+            polls: None,
+            json: false,
+            prometheus: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        macro_rules! parse {
+            ($name:literal) => {
+                value($name)?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", $name))?
+            };
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--interval-ms" => args.interval_ms = parse!("--interval-ms"),
+            "--window" => args.window = Some(parse!("--window")),
+            "--polls" => args.polls = Some(parse!("--polls")),
+            "--json" => args.json = true,
+            "--prometheus" => args.prometheus = true,
+            "--help" | "-h" => {
+                println!(
+                    "sam-top: live dashboard over a sam-gateway's stats command\n\n\
+                     options:\n  \
+                     --addr HOST:PORT  gateway address (default 127.0.0.1:7700)\n  \
+                     --interval-ms N   poll period (default 1000)\n  \
+                     --window S        ask for one specific window instead of 1s/10s/60s\n  \
+                     --polls N         stop after N frames (default: until interrupted)\n  \
+                     --json            fetch once, print the JSON report, exit\n  \
+                     --prometheus      fetch once, print the Prometheus text exposition, exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.interval_ms == 0 {
+        return Err("--interval-ms must be at least 1".into());
+    }
+    if args.json && args.prometheus {
+        return Err("--json and --prometheus are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sam-top: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = Duration::from_secs(10);
+
+    // Write a frame to stdout; a write error means the downstream
+    // consumer went away (`sam-top | head`, `| grep -q`), which is a
+    // normal way for a dashboard pipeline to end — not a failure.
+    fn emit(s: &str) -> bool {
+        let mut out = std::io::stdout();
+        out.write_all(s.as_bytes())
+            .and_then(|_| out.flush())
+            .is_ok()
+    }
+
+    // One-shot script modes: fetch, print, exit.
+    if args.json || args.prometheus {
+        return match fetch_stats(&args.addr, args.window, args.prometheus, timeout) {
+            Ok((report, text)) => {
+                if args.prometheus {
+                    emit(&text.unwrap_or_default());
+                } else {
+                    emit(&format!("{}\n", report.to_json()));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sam-top: {}: {e}", args.addr);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut dash = Dashboard::new(&args.addr);
+    let mut failures = 0u32;
+    let mut frames = 0u64;
+    loop {
+        match fetch_stats(&args.addr, args.window, false, timeout) {
+            Ok((report, _)) => {
+                failures = 0;
+                // Home the cursor and clear to end-of-screen: cheaper
+                // than a full clear, and flicker-free on every terminal
+                // that understands ANSI.
+                if !emit(&format!("\x1b[H\x1b[J{}", dash.render(&report))) {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("sam-top: poll failed ({failures}/{MAX_CONSECUTIVE_FAILURES}): {e}");
+                if failures >= MAX_CONSECUTIVE_FAILURES {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        frames += 1;
+        if matches!(args.polls, Some(n) if frames >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms));
+    }
+}

@@ -238,6 +238,20 @@ fn main() -> ExitCode {
         None => local_run(&args, &corpus),
     };
 
+    // In remote mode, fold the gateway's own windowed view into the
+    // summary: fetched over one extra connection after the soak but
+    // *before* any drain, so the report reflects the live gateway the
+    // traffic just exercised.
+    let gateway_stats =
+        args.remote.as_deref().and_then(|addr| {
+            match sam_serve::stats::fetch_stats(addr, None, false, Duration::from_secs(10)) {
+                Ok((report, _)) => Some(report),
+                Err(e) => {
+                    eprintln!("loadgen: gateway stats unavailable: {e}");
+                    None
+                }
+            }
+        });
     let summary = LoadgenSummary {
         kind: "loadgen_summary".to_string(),
         requests: args.requests,
@@ -251,6 +265,7 @@ fn main() -> ExitCode {
         explained: tally.explained,
         bench: BenchReport::new("loadgen", elapsed.as_secs_f64(), snapshot.clone()),
         metrics: report,
+        gateway_stats,
     };
 
     println!("{summary}");
@@ -635,6 +650,7 @@ fn remote_client(
             protocol: entry.protocol.clone(),
             routes: entry.routes.clone(),
             probe_ack_ratio: if entry.attacked { Some(0.1) } else { None },
+            timings: false,
         }
         .encode();
         if writer

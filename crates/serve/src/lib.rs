@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod report;
 pub mod request;
 pub mod service;
+pub mod stats;
 pub mod wire;
 
 /// The service-facing surface in one import.
@@ -51,10 +52,12 @@ pub mod prelude {
     pub use crate::metrics::{MetricsReport, ServiceMetrics};
     pub use crate::report::LoadgenSummary;
     pub use crate::request::{
-        DetectionRequest, DetectionResponse, ProfileKey, SubmitError, Verdict,
+        DetectionRequest, DetectionResponse, ProfileKey, StageTiming, SubmitError, Verdict,
     };
     pub use crate::service::{DetectionService, Pending, ServiceConfig};
+    pub use crate::stats::{ShardStats, StatsReport, StatsTotals, WindowStats};
     pub use crate::wire::{
-        decode_line, FrameError, FrameReader, WireError, WireLine, WireRequest, WireResponse,
+        decode_line, FrameError, FrameReader, WireCommand, WireError, WireLine, WireRequest,
+        WireResponse,
     };
 }

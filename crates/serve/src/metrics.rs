@@ -23,7 +23,8 @@ const BATCH_BUCKETS: usize = 64;
 ///
 /// Instrument names: `serve.submitted`, `serve.rejected`,
 /// `serve.completed`, `serve.batches`, `serve.latency_us` (power-of-two
-/// histogram), `serve.batch_size` (exact up to 64).
+/// histogram), `serve.batch_size` (exact up to 64), and the per-stage
+/// breakdown `serve.queue_wait_us` / `serve.compute_us` (power-of-two).
 pub struct ServiceMetrics {
     started: Instant,
     submitted: Arc<Counter>,
@@ -32,6 +33,8 @@ pub struct ServiceMetrics {
     batches: Arc<Counter>,
     latency_us: Arc<Histogram>,
     batch_size: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    compute_us: Arc<Histogram>,
 }
 
 impl Default for ServiceMetrics {
@@ -60,6 +63,8 @@ impl ServiceMetrics {
             batches: registry.counter("serve.batches"),
             latency_us: registry.histogram_pow2("serve.latency_us"),
             batch_size: registry.histogram_linear("serve.batch_size", BATCH_BUCKETS),
+            queue_wait_us: registry.histogram_pow2("serve.queue_wait_us"),
+            compute_us: registry.histogram_pow2("serve.compute_us"),
         }
     }
 
@@ -84,6 +89,15 @@ impl ServiceMetrics {
         self.completed.inc();
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         self.latency_us.record(us);
+    }
+
+    /// One request's stage breakdown: time spent queued and time spent
+    /// computing the verdict.
+    pub fn record_stages(&self, queue_wait: Duration, compute: Duration) {
+        self.queue_wait_us
+            .record(queue_wait.as_micros().min(u64::MAX as u128) as u64);
+        self.compute_us
+            .record(compute.as_micros().min(u64::MAX as u128) as u64);
     }
 
     /// Requests accepted so far.

@@ -44,6 +44,10 @@ pub struct LoadgenSummary {
     pub bench: BenchReport,
     /// Service-side throughput/latency metrics.
     pub metrics: MetricsReport,
+    /// The gateway's own windowed stats report, fetched with a final
+    /// `{"cmd":"stats"}` after a remote soak (before any drain). `None`
+    /// in-process, or when the fetch failed.
+    pub gateway_stats: Option<crate::stats::StatsReport>,
 }
 
 impl LoadgenSummary {
@@ -87,6 +91,19 @@ impl fmt::Display for LoadgenSummary {
             self.cache_hits(),
             self.cache_misses()
         )?;
+        if let Some(gs) = &self.gateway_stats {
+            if let Some(w) = gs.window(10).or_else(|| gs.windows.first()) {
+                writeln!(
+                    f,
+                    "gateway ({}s window): {:.0} rps, p99 {}us, shed {:.1}%, {} shards",
+                    w.window_s,
+                    w.throughput_rps,
+                    w.p99_us,
+                    100.0 * w.shed_rate,
+                    gs.shards.len()
+                )?;
+            }
+        }
         write!(f, "{}", self.metrics)
     }
 }
@@ -123,6 +140,7 @@ mod tests {
                 p90_us: 300,
                 p99_us: 900,
             },
+            gateway_stats: None,
         }
     }
 

@@ -109,6 +109,27 @@ impl Verdict {
     }
 }
 
+/// Where one request's latency went, stage by stage, on the monotonic
+/// request clock started at submission.
+///
+/// The worker fills `queue_wait_us` (submission → dequeue) and
+/// `compute_us` (detection + explanation); `serialize_us` is 0 until a
+/// transport that actually serializes (the gateway) measures its
+/// encode-and-write step. Diagnostic only — excluded from the
+/// determinism contract, like `profile_cache_hit`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Time spent in the shard queue before a worker picked the request
+    /// up, microseconds.
+    pub queue_wait_us: u64,
+    /// Time spent producing the verdict (profile lookup, procedure,
+    /// explanation), microseconds.
+    pub compute_us: u64,
+    /// Time spent encoding the response for the wire, microseconds
+    /// (0 for in-process callers — nothing was serialized).
+    pub serialize_us: u64,
+}
+
 /// The service's answer to one [`DetectionRequest`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DetectionResponse {
@@ -121,6 +142,9 @@ pub struct DetectionResponse {
     /// for this request (`false`). Diagnostic; excluded from the
     /// determinism contract.
     pub profile_cache_hit: bool,
+    /// Per-stage latency breakdown on the request clock. Diagnostic;
+    /// excluded from the determinism contract.
+    pub timing: StageTiming,
     /// The verdict explanation (suspect link, per-route leave-one-out
     /// contributions), when the service runs with
     /// [`ServiceConfig::explain`](crate::service::ServiceConfig) on.

@@ -325,6 +325,11 @@ impl Worker {
             accepted_at,
             reply,
         } = job;
+        // Stage clock: submission → here is queue wait (plus batch
+        // predecessors); here → verdict is compute. Both land in the
+        // serve.* histograms and travel back on the response.
+        let dequeued_at = Instant::now();
+        let queue_wait = dequeued_at.duration_since(accepted_at);
         let (profile, cache_hit) = self
             .cache
             .get_or_train(&request.key, || (self.profiles)(&request.key));
@@ -350,11 +355,18 @@ impl Worker {
 
         // Count before waking the caller, so a metrics snapshot taken the
         // instant `wait` returns already includes this response.
+        let compute = dequeued_at.elapsed();
         self.metrics.record_completed(accepted_at.elapsed());
+        self.metrics.record_stages(queue_wait, compute);
         reply.fill(DetectionResponse {
             id: request.id,
             verdict: Verdict::from_outcome(&outcome),
             profile_cache_hit: cache_hit,
+            timing: crate::request::StageTiming {
+                queue_wait_us: queue_wait.as_micros().min(u64::MAX as u128) as u64,
+                compute_us: compute.as_micros().min(u64::MAX as u128) as u64,
+                serialize_us: 0,
+            },
             explanation,
         });
     }

@@ -16,7 +16,11 @@
 //! {"id":7,"topology":"uniform6x6","protocol":"mr","routes":[[0,3,9,11],[0,4,8,11]],"probe_ack_ratio":null}
 //! ```
 //!
-//! **Command** — a control message (`{"cmd":"ping"}`, `{"cmd":"drain"}`).
+//! **Command** — a control message (`{"cmd":"ping"}`, `{"cmd":"drain"}`,
+//! `{"cmd":"stats"}`). `stats` takes optional arguments:
+//! `{"cmd":"stats","window":10,"format":"prometheus"}` narrows the
+//! windows to the one requested and adds a Prometheus-style text
+//! exposition in `stats_text`.
 //!
 //! **Response** — the server's answer, one line per request, in request
 //! order per connection:
@@ -42,7 +46,8 @@
 //! the [`io::Error`] and preserve the partial line, so a later call
 //! resumes exactly where the stream stopped.
 
-use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, Verdict};
+use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, StageTiming, Verdict};
+use crate::stats::StatsReport;
 use manet_routing::Route;
 use manet_sim::NodeId;
 use serde::{Deserialize, Serialize};
@@ -231,7 +236,7 @@ impl std::error::Error for WireError {}
 /// One detection request as it crosses the wire. Flat key fields keep the
 /// protocol self-describing; routes are plain node-id arrays, validated
 /// into [`Route`]s (no short or looped paths) on decode.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct WireRequest {
     /// Caller-chosen correlation id, echoed in the response.
     pub id: u64,
@@ -244,6 +249,37 @@ pub struct WireRequest {
     /// Observed probe ACK ratio, if the requester probed (see
     /// [`DetectionRequest::probe_ack_ratio`]).
     pub probe_ack_ratio: Option<f64>,
+    /// When `true`, the gateway returns the per-stage latency breakdown
+    /// (`queue_wait_us`/`compute_us`/`serialize_us`) in the response's
+    /// `timings` field.
+    pub timings: bool,
+}
+
+// Hand-written instead of derived: the derive treats every key as
+// required, but `timings` (and the optional `probe_ack_ratio`) joined
+// the protocol after clients shipped — a request line that omits them
+// must still decode, defaulting to `false`/`None`.
+impl Deserialize for WireRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::msg(format!("missing field `{name}`")))
+        };
+        Ok(WireRequest {
+            id: Deserialize::from_value(required("id")?)?,
+            topology: Deserialize::from_value(required("topology")?)?,
+            protocol: Deserialize::from_value(required("protocol")?)?,
+            routes: Deserialize::from_value(required("routes")?)?,
+            probe_ack_ratio: match v.field("probe_ack_ratio") {
+                None => None,
+                Some(p) => Deserialize::from_value(p)?,
+            },
+            timings: match v.field("timings") {
+                None => false,
+                Some(t) => Deserialize::from_value(t)?,
+            },
+        })
+    }
 }
 
 impl WireRequest {
@@ -259,6 +295,7 @@ impl WireRequest {
                 .map(|r| r.nodes().iter().map(|n| n.0).collect())
                 .collect(),
             probe_ack_ratio: req.probe_ack_ratio,
+            timings: false,
         }
     }
 
@@ -289,14 +326,51 @@ impl WireRequest {
     }
 }
 
+/// A control message: the command name plus its optional arguments
+/// (today only `stats` takes any).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCommand {
+    /// The command name: `"ping"`, `"drain"`, `"stats"`, ….
+    pub cmd: String,
+    /// For `stats`: answer only the window covering this many seconds
+    /// (`{"window":10}`). Absent → the server's default window set.
+    pub window_s: Option<u64>,
+    /// For `stats`: `"prometheus"` adds the text exposition to the
+    /// response's `stats_text` field. Absent or `"json"` → JSON only.
+    pub format: Option<String>,
+}
+
+impl WireCommand {
+    /// A bare command with no arguments.
+    pub fn bare(cmd: impl Into<String>) -> Self {
+        WireCommand {
+            cmd: cmd.into(),
+            window_s: None,
+            format: None,
+        }
+    }
+
+    /// Encode as one protocol line (no terminator).
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("cmd".to_string(), serde::Value::Str(self.cmd.clone()))];
+        if let Some(w) = self.window_s {
+            fields.push(("window".to_string(), serde::Value::UInt(w)));
+        }
+        if let Some(f) = &self.format {
+            fields.push(("format".to_string(), serde::Value::Str(f.clone())));
+        }
+        serde_json::to_string(&serde::Value::Object(fields)).expect("wire command serializes")
+    }
+}
+
 /// A successfully decoded protocol line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WireLine {
     /// A detection request (unvalidated routes — call
     /// [`WireRequest::into_request`]).
     Request(Box<WireRequest>),
-    /// A control command (`"ping"`, `"drain"`, …).
-    Command(String),
+    /// A control command (`"ping"`, `"drain"`, `"stats"`, …).
+    Command(WireCommand),
 }
 
 /// Decode one framed line into a request or command.
@@ -308,7 +382,26 @@ pub fn decode_line(bytes: &[u8]) -> Result<WireLine, WireError> {
         let cmd = cmd
             .as_str()
             .ok_or_else(|| WireError::Json("\"cmd\" must be a string".to_string()))?;
-        return Ok(WireLine::Command(cmd.to_string()));
+        let window_s = match value.field("window") {
+            None | Some(serde::Value::Null) => None,
+            Some(w) => Some(
+                <u64 as Deserialize>::from_value(w)
+                    .map_err(|_| WireError::Json("\"window\" must be seconds".to_string()))?,
+            ),
+        };
+        let format = match value.field("format") {
+            None | Some(serde::Value::Null) => None,
+            Some(f) => Some(
+                f.as_str()
+                    .ok_or_else(|| WireError::Json("\"format\" must be a string".to_string()))?
+                    .to_string(),
+            ),
+        };
+        return Ok(WireLine::Command(WireCommand {
+            cmd: cmd.to_string(),
+            window_s,
+            format,
+        }));
     }
     <WireRequest as serde::Deserialize>::from_value(&value)
         .map(|req| WireLine::Request(Box::new(req)))
@@ -337,6 +430,15 @@ pub struct WireResponse {
     pub explanation: Option<sam::Explanation>,
     /// Queue depth observed at shed time, on `"shed"`.
     pub queue_depth: Option<u64>,
+    /// Per-stage latency breakdown, when the request set `"timings":
+    /// true`. The gateway fills `serialize_us` after encoding the
+    /// response body.
+    pub timings: Option<StageTiming>,
+    /// The windowed stats report, answering `{"cmd":"stats"}`.
+    pub stats: Option<StatsReport>,
+    /// Prometheus-style text exposition of `stats`, when the command
+    /// asked for `"format":"prometheus"`.
+    pub stats_text: Option<String>,
     /// Failure reason, on `"error"`.
     pub error: Option<String>,
 }
@@ -351,6 +453,32 @@ impl WireResponse {
             profile_cache_hit: Some(resp.profile_cache_hit),
             explanation: resp.explanation,
             queue_depth: None,
+            timings: None,
+            stats: None,
+            stats_text: None,
+            error: None,
+        }
+    }
+
+    /// Attach the per-stage breakdown (requests with `"timings": true`).
+    pub fn with_timings(mut self, timings: StageTiming) -> Self {
+        self.timings = Some(timings);
+        self
+    }
+
+    /// The answer to `{"cmd":"stats"}`: a windowed report, plus the
+    /// Prometheus text exposition when the command asked for it.
+    pub fn stats(report: StatsReport, text: Option<String>) -> Self {
+        WireResponse {
+            id: 0,
+            status: STATUS_OK.to_string(),
+            verdict: None,
+            profile_cache_hit: None,
+            explanation: None,
+            queue_depth: None,
+            timings: None,
+            stats: Some(report),
+            stats_text: text,
             error: None,
         }
     }
@@ -364,6 +492,9 @@ impl WireResponse {
             profile_cache_hit: None,
             explanation: None,
             queue_depth: None,
+            timings: None,
+            stats: None,
+            stats_text: None,
             error: None,
         }
     }
@@ -377,6 +508,9 @@ impl WireResponse {
             profile_cache_hit: None,
             explanation: None,
             queue_depth: Some(queue_depth as u64),
+            timings: None,
+            stats: None,
+            stats_text: None,
             error: None,
         }
     }
@@ -390,6 +524,9 @@ impl WireResponse {
             profile_cache_hit: None,
             explanation: None,
             queue_depth: None,
+            timings: None,
+            stats: None,
+            stats_text: None,
             error: None,
         }
     }
@@ -403,6 +540,9 @@ impl WireResponse {
             profile_cache_hit: None,
             explanation: None,
             queue_depth: None,
+            timings: None,
+            stats: None,
+            stats_text: None,
             error: Some(reason.into()),
         }
     }
@@ -435,6 +575,7 @@ mod tests {
             } else {
                 Some(0.25)
             },
+            timings: id.is_multiple_of(3),
         }
     }
 
@@ -472,7 +613,7 @@ mod tests {
     #[test]
     fn commands_and_garbage_decode_as_typed_results() {
         match decode_line(b"{\"cmd\":\"drain\"}").unwrap() {
-            WireLine::Command(c) => assert_eq!(c, "drain"),
+            WireLine::Command(c) => assert_eq!(c, WireCommand::bare("drain")),
             other => panic!("{other:?}"),
         }
         assert!(matches!(
@@ -481,6 +622,61 @@ mod tests {
         ));
         assert!(matches!(decode_line(b"not json"), Err(WireError::Json(_))));
         assert!(matches!(decode_line(&[0xFF, 0xFE]), Err(WireError::Utf8)));
+    }
+
+    #[test]
+    fn stats_command_arguments_round_trip() {
+        let cmd = WireCommand {
+            cmd: "stats".to_string(),
+            window_s: Some(10),
+            format: Some("prometheus".to_string()),
+        };
+        match decode_line(cmd.encode().as_bytes()).unwrap() {
+            WireLine::Command(c) => assert_eq!(c, cmd),
+            other => panic!("{other:?}"),
+        }
+        // Explicit nulls read as absent arguments.
+        match decode_line(b"{\"cmd\":\"stats\",\"window\":null,\"format\":null}").unwrap() {
+            WireLine::Command(c) => assert_eq!(c, WireCommand::bare("stats")),
+            other => panic!("{other:?}"),
+        }
+        // Typed argument errors, not silent drops.
+        assert!(matches!(
+            decode_line(b"{\"cmd\":\"stats\",\"window\":\"ten\"}"),
+            Err(WireError::Json(_))
+        ));
+        assert!(matches!(
+            decode_line(b"{\"cmd\":\"stats\",\"format\":7}"),
+            Err(WireError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn requests_without_the_timings_key_still_decode() {
+        // The key shapes clients sent before stage timing existed.
+        let line = br#"{"id":7,"topology":"uniform6x6","protocol":"mr","routes":[[0,3,9,11]],"probe_ack_ratio":null}"#;
+        match decode_line(line).unwrap() {
+            WireLine::Request(r) => {
+                assert_eq!(r.id, 7);
+                assert!(!r.timings, "missing key defaults to false");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Even probe_ack_ratio may be omitted.
+        let line = br#"{"id":8,"topology":"t","protocol":"p","routes":[[0,1,2]]}"#;
+        match decode_line(line).unwrap() {
+            WireLine::Request(r) => {
+                assert_eq!(r.probe_ack_ratio, None);
+                assert!(!r.timings);
+            }
+            other => panic!("{other:?}"),
+        }
+        // And an explicit true is honoured.
+        let line = br#"{"id":9,"topology":"t","protocol":"p","routes":[[0,1,2]],"timings":true}"#;
+        match decode_line(line).unwrap() {
+            WireLine::Request(r) => assert!(r.timings),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -520,5 +716,22 @@ mod tests {
         let back = WireResponse::decode(err.encode().as_bytes()).unwrap();
         assert_eq!(back.status, STATUS_ERROR);
         assert!(back.error.unwrap().contains("trailing"));
+    }
+
+    #[test]
+    fn timings_ride_the_response_when_attached() {
+        let timing = StageTiming {
+            queue_wait_us: 120,
+            compute_us: 950,
+            serialize_us: 8,
+        };
+        let resp = WireResponse::ok_empty().with_timings(timing);
+        let back = WireResponse::decode(resp.encode().as_bytes()).unwrap();
+        assert_eq!(back.timings, Some(timing));
+        assert!(back.stats.is_none());
+        // And absent by default.
+        let plain = WireResponse::ok_empty();
+        let back = WireResponse::decode(plain.encode().as_bytes()).unwrap();
+        assert_eq!(back.timings, None);
     }
 }

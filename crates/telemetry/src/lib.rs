@@ -45,10 +45,12 @@ pub mod chrome;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod window;
 
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use report::{BenchReport, TelemetryReport};
 pub use span::{EventRecord, SpanGuard};
+pub use window::{WindowDelta, WindowRing, DEFAULT_WINDOW_SLOTS};
 
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
@@ -181,6 +183,7 @@ pub mod prelude {
     };
     pub use crate::report::{write_jsonl, BenchReport, TelemetryReport};
     pub use crate::span::{EventRecord, SpanGuard};
+    pub use crate::window::{WindowDelta, WindowRing, DEFAULT_WINDOW_SLOTS};
     pub use crate::{enabled, global, install, span, uninstall, Telemetry};
 }
 

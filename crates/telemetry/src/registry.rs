@@ -216,6 +216,75 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The `q`-quantile upper bound recomputed from the sparse buckets —
+    /// the same CDF walk [`Histogram::percentile`] performs on the live
+    /// instrument, so delta snapshots (whose `p50`/`p99` fields describe
+    /// the *cumulative* distribution they were cut from) can report
+    /// percentiles of just their own samples. 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(edge, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return edge;
+            }
+        }
+        self.buckets.last().map(|&(edge, _)| edge).unwrap_or(0)
+    }
+
+    /// The histogram of samples recorded between `earlier` and `self`
+    /// (both cumulative snapshots of the same instrument): per-bucket
+    /// saturating subtraction, with `count`/`mean` and the percentile
+    /// fields recomputed over the difference alone.
+    ///
+    /// Saturation (never a panic or a negative) is the registry-reinstall
+    /// guard: if the instrument was replaced and its counts restarted
+    /// below `earlier`'s, the delta clamps to zero instead of
+    /// underflowing.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        for &(edge, count) in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|&&(e, _)| e == edge)
+                .map(|&(_, c)| c)
+                .unwrap_or(0);
+            let d = count.saturating_sub(before);
+            if d > 0 {
+                buckets.push((edge, d));
+            }
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        // Sums are only carried as means; reconstruct the delta mean from
+        // the two (count, mean) pairs.
+        let sum = (self.mean * self.count as f64) - (earlier.mean * earlier.count as f64);
+        let mut delta = HistogramSnapshot {
+            name: self.name.clone(),
+            count,
+            mean: if count == 0 {
+                0.0
+            } else {
+                (sum / count as f64).max(0.0)
+            },
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets,
+        };
+        delta.p50 = delta.percentile(0.50);
+        delta.p90 = delta.percentile(0.90);
+        delta.p99 = delta.percentile(0.99);
+        delta
+    }
+}
+
 /// A named set of instruments. Cheap to share (`Arc` it); instrument
 /// handles are get-or-create by name and independently shareable.
 #[derive(Debug, Default)]
@@ -336,6 +405,32 @@ impl RegistrySnapshot {
     /// The histogram snapshot named `name`, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Everything recorded between `earlier` and `self`: counters and
+    /// histogram buckets subtract (saturating — a registry reinstall that
+    /// restarted a counter below its old value yields 0, never an
+    /// underflow), gauges keep `self`'s last-written value (a gauge is a
+    /// level, not a flow), and instruments absent from `earlier` carry
+    /// over whole.
+    pub fn delta(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            kind: "snapshot".to_string(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| match earlier.histogram(&h.name) {
+                    Some(before) => h.delta(before),
+                    None => h.clone(),
+                })
+                .collect(),
+        }
     }
 }
 

@@ -1,0 +1,283 @@
+//! Rolling-window aggregation over cumulative registry snapshots.
+//!
+//! The registry's instruments are cumulative since process start, which
+//! answers "how did the whole run go" but not "what is happening *right
+//! now*". This module adds the second view without touching the update
+//! path at all: a sampler (the gateway runs one thread at ~1 Hz) pushes
+//! point-in-time [`RegistrySnapshot`]s into a fixed-capacity
+//! [`WindowRing`]; a windowed query subtracts the snapshot closest to
+//! `now - window` from a fresh one, yielding the counters, rates, and
+//! latency percentiles of just the last N seconds.
+//!
+//! Because the hot path (counter increments, histogram records) never
+//! sees the ring, the zero-overhead-when-disabled guarantee and the
+//! lock-free update property of the registry are preserved by
+//! construction — the only new synchronization is a mutex taken once per
+//! sampler tick and once per stats query.
+
+use crate::registry::RegistrySnapshot;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default ring capacity: one snapshot per second for a bit over a
+/// minute, enough to answer 1s/10s/60s windows.
+pub const DEFAULT_WINDOW_SLOTS: usize = 64;
+
+/// One retained sample: when it was cut (microseconds on the owner's
+/// monotonic clock) and what the registry looked like.
+#[derive(Clone, Debug)]
+struct Slot {
+    at_us: u64,
+    snapshot: RegistrySnapshot,
+}
+
+/// A fixed-capacity ring of timestamped cumulative snapshots.
+///
+/// Pushing beyond capacity evicts the oldest slot (ring wrap-around), so
+/// memory is bounded by `capacity × snapshot size` regardless of uptime.
+/// Timestamps are caller-supplied microseconds on a single monotonic
+/// clock (the owner's start `Instant`), which keeps the ring free of any
+/// wall-clock dependence.
+#[derive(Debug)]
+pub struct WindowRing {
+    slots: Mutex<VecDeque<Slot>>,
+    capacity: usize,
+}
+
+impl WindowRing {
+    /// An empty ring retaining at most `capacity` snapshots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window ring needs capacity >= 1");
+        WindowRing {
+            slots: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Record `snapshot` as the state at `at_us`. Out-of-order pushes
+    /// (an `at_us` not later than the newest slot) are ignored — the ring
+    /// is a strictly increasing timeline.
+    pub fn push(&self, at_us: u64, snapshot: RegistrySnapshot) {
+        let mut slots = self.slots.lock();
+        if let Some(last) = slots.back() {
+            if at_us <= last.at_us {
+                return;
+            }
+        }
+        if slots.len() == self.capacity {
+            slots.pop_front();
+        }
+        slots.push_back(Slot { at_us, snapshot });
+    }
+
+    /// Snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether no snapshot has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// Everything recorded in (roughly) the last `window_us`
+    /// microseconds: `current` (a fresh cumulative snapshot cut at
+    /// `now_us`) minus the newest retained snapshot at least `window_us`
+    /// old — or the oldest retained one when the ring is younger than the
+    /// window. `None` until the first push (no baseline to subtract).
+    ///
+    /// The returned [`WindowDelta`] reports the span it *actually*
+    /// covers, which may be shorter (young ring) or slightly longer
+    /// (sampling granularity) than requested.
+    pub fn delta_over(
+        &self,
+        current: &RegistrySnapshot,
+        now_us: u64,
+        window_us: u64,
+    ) -> Option<WindowDelta> {
+        let slots = self.slots.lock();
+        let baseline = slots
+            .iter()
+            .rev()
+            .find(|s| now_us.saturating_sub(s.at_us) >= window_us)
+            .or_else(|| slots.front())?;
+        let span_us = now_us.saturating_sub(baseline.at_us);
+        Some(WindowDelta {
+            requested_s: window_us as f64 / 1e6,
+            span_s: span_us as f64 / 1e6,
+            delta: current.delta(&baseline.snapshot),
+        })
+    }
+}
+
+/// The difference between two cumulative snapshots, annotated with the
+/// wall-clock span it covers — the unit every windowed rate is derived
+/// from.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowDelta {
+    /// The window the caller asked for, seconds.
+    pub requested_s: f64,
+    /// The span actually covered (baseline age), seconds. Shorter than
+    /// `requested_s` while the ring is young.
+    pub span_s: f64,
+    /// Counters/histograms of just this span (gauges are last-value).
+    pub delta: RegistrySnapshot,
+}
+
+impl WindowDelta {
+    /// `counter / span` as a per-second rate; 0 over an empty span (a
+    /// just-started ring), never a division blow-up.
+    pub fn rate(&self, counter: &str) -> f64 {
+        if self.span_s <= 0.0 {
+            return 0.0;
+        }
+        self.delta.counter(counter) as f64 / self.span_s
+    }
+
+    /// `numerator / (numerator + complement)` over this window — the
+    /// shape of shed rate (`shed / (shed + served)`) and cache hit ratio
+    /// (`hits / (hits + misses)`). 0 when both sides are 0.
+    pub fn ratio(&self, numerator: &str, complement: &str) -> f64 {
+        let n = self.delta.counter(numerator) as f64;
+        let total = n + self.delta.counter(complement) as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            n / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap_with(counter: &str, value: u64, latencies: &[u64]) -> RegistrySnapshot {
+        let reg = Registry::new();
+        reg.counter(counter).add(value);
+        let h = reg.histogram_pow2("lat_us");
+        for &v in latencies {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn ring_needs_a_baseline_before_answering() {
+        let ring = WindowRing::new(4);
+        assert!(ring.is_empty());
+        let now = snap_with("req", 10, &[]);
+        assert!(ring.delta_over(&now, 5_000_000, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn windowed_delta_subtracts_the_right_baseline() {
+        let ring = WindowRing::new(8);
+        for t in 0..5u64 {
+            ring.push(t * 1_000_000, snap_with("req", t * 100, &[]));
+        }
+        let now = snap_with("req", 500, &[]);
+        // 2s window from t=5s: baseline is the t=3s slot (age 2s).
+        let w = ring.delta_over(&now, 5_000_000, 2_000_000).expect("delta");
+        assert!((w.span_s - 2.0).abs() < 1e-9);
+        assert_eq!(w.delta.counter("req"), 200);
+        assert!((w.rate("req") - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn young_ring_falls_back_to_oldest_slot() {
+        let ring = WindowRing::new(8);
+        ring.push(0, snap_with("req", 0, &[]));
+        ring.push(1_000_000, snap_with("req", 40, &[]));
+        let now = snap_with("req", 70, &[]);
+        // Asking for 60s with only 2s of history covers the full 2s.
+        let w = ring.delta_over(&now, 2_000_000, 60_000_000).expect("delta");
+        assert!((w.span_s - 2.0).abs() < 1e-9);
+        assert_eq!(w.delta.counter("req"), 70);
+        assert!((w.requested_s - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_only_the_newest() {
+        let ring = WindowRing::new(3);
+        for t in 0..10u64 {
+            ring.push(t * 1_000_000, snap_with("req", t, &[]));
+        }
+        assert_eq!(ring.len(), 3);
+        let now = snap_with("req", 100, &[]);
+        // Oldest retained slot is t=7s; a 60s window clamps to 2s span.
+        let w = ring.delta_over(&now, 9_000_000, 60_000_000).expect("delta");
+        assert!((w.span_s - 2.0).abs() < 1e-9);
+        assert_eq!(w.delta.counter("req"), 93);
+    }
+
+    #[test]
+    fn out_of_order_pushes_are_ignored() {
+        let ring = WindowRing::new(4);
+        ring.push(2_000_000, snap_with("req", 20, &[]));
+        ring.push(1_000_000, snap_with("req", 999, &[]));
+        ring.push(2_000_000, snap_with("req", 999, &[]));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn delta_percentiles_describe_only_the_window() {
+        // Cumulative history: 90 fast samples before the baseline, 10
+        // slow ones after. The cumulative p50 is fast; the window's p50
+        // must be slow because only slow samples happened inside it.
+        let reg = Registry::new();
+        let h = reg.histogram_pow2("lat_us");
+        for _ in 0..90 {
+            h.record(1);
+        }
+        let ring = WindowRing::new(4);
+        ring.push(0, reg.snapshot());
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let now = reg.snapshot();
+        assert!(now.histogram("lat_us").unwrap().p50 <= 2, "cumulative fast");
+        let w = ring.delta_over(&now, 1_000_000, 1_000_000).expect("delta");
+        let lat = w.delta.histogram("lat_us").expect("histogram present");
+        assert_eq!(lat.count, 10);
+        assert!(lat.p50 >= 1024, "window median is slow, got {}", lat.p50);
+        assert_eq!(lat.percentile(0.5), lat.p50);
+    }
+
+    #[test]
+    fn empty_window_percentiles_are_zero() {
+        let reg = Registry::new();
+        reg.histogram_pow2("lat_us").record(100);
+        let ring = WindowRing::new(4);
+        ring.push(0, reg.snapshot());
+        // Nothing recorded since the baseline.
+        let now = reg.snapshot();
+        let w = ring.delta_over(&now, 1_000_000, 1_000_000).expect("delta");
+        let lat = w.delta.histogram("lat_us").expect("histogram present");
+        assert_eq!(lat.count, 0);
+        assert_eq!(lat.p50, 0);
+        assert_eq!(lat.p99, 0);
+        assert_eq!(lat.mean, 0.0);
+        assert!(lat.buckets.is_empty());
+        assert_eq!(w.rate("missing"), 0.0);
+        assert_eq!(w.ratio("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn delta_across_reinstall_saturates_at_zero() {
+        // A registry torn down and reinstalled restarts its counters; a
+        // delta against the old, larger snapshot must clamp to 0.
+        let ring = WindowRing::new(4);
+        ring.push(0, snap_with("req", 1000, &[50, 50, 50]));
+        let reinstalled = snap_with("req", 10, &[50]);
+        let w = ring
+            .delta_over(&reinstalled, 1_000_000, 1_000_000)
+            .expect("delta");
+        assert_eq!(w.delta.counter("req"), 0, "no negative counters");
+        let lat = w.delta.histogram("lat_us").expect("histogram present");
+        assert_eq!(lat.count, 0, "no negative histogram counts");
+        assert!(lat.buckets.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the window ring: over randomized sampler
+//! schedules, windowed deltas must partition the cumulative counters
+//! exactly — nothing double-counted, nothing lost — and a wrapped ring
+//! must still answer against its oldest *retained* baseline.
+
+use proptest::prelude::*;
+use sam_telemetry::{Registry, WindowRing};
+
+const TICK_US: u64 = 1_000_000;
+
+proptest! {
+    /// Replay a sampler: each tick records some traffic, queries the
+    /// one-tick window (baseline = the previous slot), then pushes its
+    /// own snapshot. The per-tick deltas must sum to the cumulative
+    /// counter and histogram count — the windowed view is a partition
+    /// of the cumulative one, not an approximation of it.
+    #[test]
+    fn window_deltas_partition_the_cumulative_counters(
+        increments in proptest::collection::vec(0..1_000u64, 1..=24),
+    ) {
+        let reg = Registry::new();
+        let ring = WindowRing::new(increments.len() + 1);
+        ring.push(0, reg.snapshot());
+
+        let counter = reg.counter("req");
+        let hist = reg.histogram_pow2("lat_us");
+        let mut summed = 0u64;
+        let mut summed_records = 0u64;
+        for (i, &n) in increments.iter().enumerate() {
+            counter.add(n);
+            for k in 0..n % 5 {
+                hist.record(1 + k);
+            }
+            let now_us = (i as u64 + 1) * TICK_US;
+            let snap = reg.snapshot();
+            let w = ring.delta_over(&snap, now_us, TICK_US).expect("baseline");
+            summed += w.delta.counter("req");
+            summed_records += w.delta.histogram("lat_us").map_or(0, |h| h.count);
+            ring.push(now_us, snap);
+        }
+
+        let cumulative = reg.snapshot();
+        prop_assert_eq!(summed, cumulative.counter("req"));
+        prop_assert_eq!(
+            summed_records,
+            cumulative.histogram("lat_us").map_or(0, |h| h.count)
+        );
+    }
+
+    /// Push far past capacity: the full-horizon delta must equal the
+    /// cumulative total minus exactly the oldest slot the wrap kept.
+    #[test]
+    fn wrapped_ring_answers_against_the_oldest_retained_slot(
+        increments in proptest::collection::vec(1..100u64, 1..=40),
+        capacity in 1..8usize,
+    ) {
+        let reg = Registry::new();
+        let counter = reg.counter("req");
+        let ring = WindowRing::new(capacity);
+
+        let mut pushed_totals = Vec::new();
+        for (i, &n) in increments.iter().enumerate() {
+            counter.add(n);
+            ring.push((i as u64 + 1) * TICK_US, reg.snapshot());
+            pushed_totals.push(counter.get());
+        }
+        prop_assert_eq!(ring.len(), capacity.min(increments.len()));
+
+        let now_us = (increments.len() as u64 + 1) * TICK_US;
+        let w = ring
+            .delta_over(&reg.snapshot(), now_us, u64::MAX)
+            .expect("baseline");
+        let oldest_retained = increments.len().saturating_sub(capacity);
+        let total = *pushed_totals.last().unwrap();
+        prop_assert_eq!(
+            w.delta.counter("req"),
+            total - pushed_totals[oldest_retained]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf regression gate (ROADMAP item 2): compare freshly emitted bench
+# reports against the committed baselines in .baseline/ and fail on more
+# than TOLERANCE_PCT throughput loss. bash + jq only — no new deps.
+#
+#   scripts/perf_gate.sh [FRESH_REPRO] [FRESH_SERVE]
+#
+# Defaults are BENCH_repro.json / BENCH_serve.json in the repo root,
+# where the CI smoke steps write them. Baselines are refreshed only by
+# deliberately committing a new .baseline/ file — never by CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TOLERANCE_PCT="${PERF_GATE_TOLERANCE_PCT:-10}"
+FRESH_REPRO="${1:-BENCH_repro.json}"
+FRESH_SERVE="${2:-BENCH_serve.json}"
+fail=0
+
+# gate LABEL FRESH BASE — both throughput-like (higher is better); fails
+# when FRESH sits below BASE by more than the tolerance.
+gate() {
+  local label="$1" fresh="$2" base="$3" ok floor
+  floor=$(jq -n --argjson b "$base" --argjson tol "$TOLERANCE_PCT" '$b * (1 - $tol / 100)')
+  ok=$(jq -n --argjson f "$fresh" --argjson floor "$floor" '$f >= $floor')
+  if [ "$ok" = "true" ]; then
+    printf 'perf-gate: %-22s ok    fresh=%s baseline=%s floor=%s\n' \
+      "$label" "$fresh" "$base" "$floor"
+  else
+    printf 'perf-gate: %-22s FAIL  fresh=%s baseline=%s floor=%s (>%s%% throughput loss)\n' \
+      "$label" "$fresh" "$base" "$floor" "$TOLERANCE_PCT" >&2
+    fail=1
+  fi
+}
+
+# reproduce reports wall seconds; compare as runs-per-second so "loss"
+# means the same direction in both gates.
+gate "reproduce (1/wall_s)" \
+  "$(jq -e '1 / .wall_s' "$FRESH_REPRO")" \
+  "$(jq -e '1 / .wall_s' .baseline/BENCH_repro.json)"
+
+# loadgen reports throughput directly.
+gate "serve (rps)" \
+  "$(jq -e '.metrics.throughput_rps' "$FRESH_SERVE")" \
+  "$(jq -e '.metrics.throughput_rps' .baseline/BENCH_serve.json)"
+
+exit "$fail"
