@@ -12,7 +12,10 @@
 //! `record` runs one scenario with the flight recorder on and saves the
 //! JSONL recording; the other subcommands load such a file. `export
 //! --chrome` emits Chrome trace-event JSON loadable in Perfetto or
-//! `chrome://tracing`.
+//! `chrome://tracing` — it accepts either a flight recording or a
+//! gateway/serve telemetry JSONL file (`sam-gateway --telemetry PATH`),
+//! auto-detected by line shape; telemetry spans keep their request
+//! trace ids in the event args.
 
 use manet_routing::ProtocolKind;
 use manet_sim::{TraceEntry, TraceKind};
@@ -190,6 +193,33 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Sniff a telemetry JSONL file (`span`/`event` lines, optionally a
+/// final registry `snapshot` line) and load its records. `Ok(None)` when
+/// the file is shaped like something else — the caller falls back to the
+/// flight-recording loader and its own error reporting.
+fn load_telemetry_records(path: &str) -> Result<Option<Vec<sam_telemetry::EventRecord>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut records = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(v) = serde_json::from_str::<serde::Value>(line) else {
+            return Ok(None);
+        };
+        match v.field("kind").and_then(|k| k.as_str()) {
+            Some("span") | Some("event") => {
+                let rec = serde_json::from_str(line)
+                    .map_err(|e| format!("telemetry line in {path}: {e}"))?;
+                records.push(rec);
+            }
+            Some("snapshot") => {} // the trailing registry snapshot
+            _ => return Ok(None),
+        }
+    }
+    if records.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(records))
+}
+
 fn cmd_export(args: &[String]) -> Result<(), String> {
     let mut path = None;
     let mut chrome = false;
@@ -211,7 +241,15 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     if !chrome {
         return Err("export supports only --chrome for now".to_string());
     }
-    let doc = chrome_trace(&load(&path)?);
+    let doc = match load_telemetry_records(&path)? {
+        Some(records) => {
+            use sam_telemetry::chrome::{process_name, records_to_chrome, trace_document};
+            let mut events = vec![process_name(1, "sam-gateway")];
+            events.extend(records_to_chrome(&records, 1));
+            trace_document(events)
+        }
+        None => chrome_trace(&load(&path)?),
+    };
     let text = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
     match out {
         Some(out) => {

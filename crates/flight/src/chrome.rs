@@ -101,6 +101,7 @@ mod tests {
             name: "discovery".to_string(),
             start_us: 0,
             dur_us: 100,
+            trace: None,
             fields: vec![],
         });
         rec.entries.push(TraceEntry {

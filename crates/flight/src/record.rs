@@ -245,6 +245,7 @@ mod tests {
             name: "discovery".to_string(),
             start_us: 10,
             dur_us: 250,
+            trace: None,
             fields: vec![("routes".to_string(), "3".to_string())],
         }];
         rec

@@ -51,10 +51,17 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
 use sam_serve::stats::{ShardStats, StatsReport, StatsTotals, WindowStats, DEFAULT_WINDOWS_S};
+use sam_serve::trace::{sample_reason, AuditRecord, TraceExemplar, TraceSpan};
 use sam_serve::wire::{self, FrameError, FrameReader, WireLine, WireResponse};
-use sam_telemetry::{Counter, Gauge, Histogram, Registry, WindowRing, DEFAULT_WINDOW_SLOTS};
+use sam_telemetry::{
+    Counter, EventRecord, Gauge, Histogram, Registry, SpanGuard, TraceContext, TraceId, TraceIdGen,
+    WindowRing, DEFAULT_WINDOW_SLOTS,
+};
+use std::collections::VecDeque;
+use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -104,6 +111,22 @@ pub struct GatewayConfig {
     /// stage breakdown) when global telemetry is installed, and count
     /// into `gateway.slow_requests`. `None` disables the logging.
     pub slow_request_us: Option<u64>,
+    /// Follow every request under a trace id (client-stamped or minted
+    /// from `trace_seed`), tail-sample interesting ones into the exemplar
+    /// ring, and answer `{"cmd":"trace"}`. Off by default — the disabled
+    /// cost is one `Option` check per request.
+    pub trace: bool,
+    /// Tail-sample requests slower than this many microseconds. `None`
+    /// leaves only shed/error/positive-verdict sampling.
+    pub trace_slow_us: Option<u64>,
+    /// Seed for minted trace ids — fixed seeds give reproducible soaks.
+    pub trace_seed: u64,
+    /// Exemplars retained in the tail-sampler ring (oldest evicted).
+    pub trace_capacity: usize,
+    /// Append one verdict-audit JSONL line per completed request here
+    /// (requires `trace`). The file is created at bind and flushed per
+    /// line.
+    pub audit_log: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -122,6 +145,11 @@ impl Default for GatewayConfig {
             stats_interval: Duration::from_secs(1),
             slo_p99_us: None,
             slow_request_us: None,
+            trace: false,
+            trace_slow_us: None,
+            trace_seed: 0,
+            trace_capacity: 64,
+            audit_log: None,
         }
     }
 }
@@ -159,6 +187,154 @@ struct Shared {
     window_ring: WindowRing,
     started: Instant,
     stop_sampler: AtomicBool,
+    /// Present only with `GatewayConfig::trace` — the untraced fast path
+    /// pays exactly this one `Option` check per request.
+    tracer: Option<Tracer>,
+}
+
+/// Everything the tail sampler needs about one finished request. One
+/// struct instead of nine arguments — the ok/shed/error paths all build
+/// it the same way.
+struct FinishedRequest<'a> {
+    trace: TraceId,
+    id: u64,
+    key: &'a str,
+    shard: Option<u64>,
+    status: &'a str,
+    timing: StageTiming,
+    total_us: u64,
+    verdict: Option<&'a Verdict>,
+}
+
+/// The sam-wiretrace back end: mints trace ids, tail-samples finished
+/// requests into the exemplar ring, and appends the verdict audit trail.
+struct Tracer {
+    gen: TraceIdGen,
+    slow_us: Option<u64>,
+    capacity: usize,
+    exemplars: Mutex<VecDeque<TraceExemplar>>,
+    traced_requests: Arc<Counter>,
+    trace_exemplars: Arc<Counter>,
+    audit_records: Arc<Counter>,
+    audit: Option<Mutex<BufWriter<File>>>,
+}
+
+impl Tracer {
+    /// The request's trace context: honor a well-formed client-stamped
+    /// trace id (32 hex digits), mint a deterministic one otherwise.
+    fn context(&self, stamped: Option<&str>) -> TraceContext {
+        let trace = stamped
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| self.gen.next_id());
+        TraceContext::root(trace)
+    }
+
+    /// The tail-sample decision + audit append, once per finished
+    /// request. Failures outrank verdicts outrank slowness — a request
+    /// is kept for the most alarming thing about it.
+    fn finish(&self, req: &FinishedRequest<'_>) {
+        self.traced_requests.inc();
+        let reason = match req.status {
+            wire::STATUS_ERROR => Some(sample_reason::ERROR),
+            wire::STATUS_SHED => Some(sample_reason::SHED),
+            _ => match req.verdict {
+                Some(v) if v.anomalous || v.confirmed => Some(sample_reason::VERDICT),
+                _ => match self.slow_us {
+                    Some(t) if req.total_us > t => Some(sample_reason::SLOW),
+                    _ => None,
+                },
+            },
+        };
+        if let Some(reason) = reason {
+            let exemplar = TraceExemplar {
+                trace: req.trace.to_string(),
+                id: req.id,
+                key: req.key.to_string(),
+                shard: req.shard,
+                status: req.status.to_string(),
+                reason: reason.to_string(),
+                total_us: req.total_us,
+                spans: stage_spans(&req.timing, req.total_us),
+            };
+            let mut ring = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+            if ring.len() >= self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(exemplar);
+            drop(ring);
+            self.trace_exemplars.inc();
+        }
+        if let Some(audit) = &self.audit {
+            let record = AuditRecord {
+                kind: "audit".to_string(),
+                trace: req.trace.to_string(),
+                id: req.id,
+                key: req.key.to_string(),
+                shard: req.shard,
+                status: req.status.to_string(),
+                anomalous: req.verdict.map(|v| v.anomalous),
+                confirmed: req.verdict.map(|v| v.confirmed),
+                p_max: req.verdict.map(|v| v.p_max),
+                suspect_link: req
+                    .verdict
+                    .and_then(|v| v.suspect_link.map(|(a, b)| (a.0, b.0))),
+                total_us: req.total_us,
+                queue_wait_us: req.timing.queue_wait_us,
+                compute_us: req.timing.compute_us,
+                serialize_us: req.timing.serialize_us,
+            };
+            let mut w = audit.lock().unwrap_or_else(|e| e.into_inner());
+            // Flushed per line: audit lines are evidence, and a crash
+            // must not swallow the requests that preceded it.
+            if writeln!(w, "{}", record.encode())
+                .and_then(|()| w.flush())
+                .is_ok()
+            {
+                self.audit_records.inc();
+            }
+        }
+    }
+
+    /// The newest `limit` exemplars (all of them when `limit` is absent),
+    /// oldest first.
+    fn recent(&self, limit: Option<u64>) -> Vec<TraceExemplar> {
+        let ring = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = match limit {
+            Some(l) => ring.len().saturating_sub(l.min(usize::MAX as u64) as usize),
+            None => 0,
+        };
+        ring.iter().skip(skip).cloned().collect()
+    }
+}
+
+/// Synthesize the exemplar's span ladder from the stage breakdown. The
+/// stages share the request's monotonic clock (started at acceptance),
+/// so the offsets compose: queue wait starts at 0, compute follows it,
+/// and serialization starts once the worker's reply lands back at the
+/// gateway (`total_us` is measured just before encoding).
+fn stage_spans(timing: &StageTiming, total_us: u64) -> Vec<TraceSpan> {
+    vec![
+        TraceSpan {
+            name: "request".to_string(),
+            start_us: 0,
+            dur_us: total_us.saturating_add(timing.serialize_us),
+        },
+        TraceSpan {
+            name: "queue_wait".to_string(),
+            start_us: 0,
+            dur_us: timing.queue_wait_us,
+        },
+        TraceSpan {
+            name: "compute".to_string(),
+            start_us: timing.queue_wait_us,
+            dur_us: timing.compute_us,
+        },
+        TraceSpan {
+            name: "serialize".to_string(),
+            start_us: total_us,
+            dur_us: timing.serialize_us,
+        },
+    ]
 }
 
 impl Shared {
@@ -242,6 +418,24 @@ impl Gateway {
                 )
             })
             .collect();
+        let tracer = if cfg.trace {
+            let audit = match &cfg.audit_log {
+                Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+                None => None,
+            };
+            Some(Tracer {
+                gen: TraceIdGen::new(cfg.trace_seed),
+                slow_us: cfg.trace_slow_us,
+                capacity: cfg.trace_capacity.max(1),
+                exemplars: Mutex::new(VecDeque::new()),
+                traced_requests: registry.counter("gateway.traced_requests"),
+                trace_exemplars: registry.counter("gateway.trace_exemplars"),
+                audit_records: registry.counter("gateway.audit_records"),
+                audit,
+            })
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             ring: HashRing::new(cfg.shards as u32, cfg.replicas),
             services,
@@ -263,6 +457,7 @@ impl Gateway {
             window_ring: WindowRing::new(DEFAULT_WINDOW_SLOTS),
             started: Instant::now(),
             stop_sampler: AtomicBool::new(false),
+            tracer,
             registry: registry.clone(),
             cfg,
         });
@@ -411,8 +606,11 @@ fn sampler_loop(shared: Arc<Shared>) {
 fn build_stats(shared: &Shared, window_s: Option<u64>) -> StatsReport {
     let now = shared.registry.snapshot();
     let now_us = shared.now_us();
+    // No silent clamping: the wire layer rejects out-of-range windows
+    // with a typed error before reaching here, and in-process callers
+    // asking for an unanswerable window simply get no window entry.
     let windows_s: Vec<u64> = match window_s {
-        Some(w) => vec![w.max(1)],
+        Some(w) => vec![w],
         None => DEFAULT_WINDOWS_S.to_vec(),
     };
     let windows = windows_s
@@ -443,6 +641,13 @@ fn build_stats(shared: &Shared, window_s: Option<u64>) -> StatsReport {
         windows,
         totals: StatsTotals::from_snapshot(&now),
     }
+}
+
+/// The longest answerable stats window, seconds: the ring holds
+/// [`DEFAULT_WINDOW_SLOTS`] snapshots spaced `stats_interval` apart.
+fn ring_span_s(cfg: &GatewayConfig) -> u64 {
+    let interval_us = cfg.stats_interval.as_micros().min(u64::MAX as u128) as u64;
+    ((DEFAULT_WINDOW_SLOTS as u64).saturating_mul(interval_us) / 1_000_000).max(1)
 }
 
 /// The accept loop: nonblocking accept, shed on full backlog, stop and
@@ -599,9 +804,43 @@ fn serve_line(
                         return Ok(true);
                     }
                 };
+                // An explicit window is validated, not clamped: a silent
+                // `window=0 → 1s` or `window=3600 → whatever the ring
+                // holds` answer looks authoritative while measuring
+                // something else entirely.
+                if let Some(w) = cmd.window_s {
+                    let span_s = ring_span_s(&shared.cfg);
+                    let err = if w == 0 {
+                        Some("\"window\" must be at least 1 second".to_string())
+                    } else if w > span_s {
+                        Some(format!(
+                            "\"window\" of {w}s exceeds the {span_s}s ring span"
+                        ))
+                    } else {
+                        None
+                    };
+                    if let Some(err) = err {
+                        write_line(writer, &WireResponse::error(0, err))?;
+                        return Ok(true);
+                    }
+                }
                 let report = build_stats(shared, cmd.window_s);
                 let text = text.map(|()| report.to_prometheus());
                 write_line(writer, &WireResponse::stats(report, text))?;
+                Ok(true)
+            }
+            "trace" => {
+                match &shared.tracer {
+                    Some(t) => {
+                        write_line(writer, &WireResponse::trace_exemplars(t.recent(cmd.limit)))?;
+                    }
+                    None => {
+                        write_line(
+                            writer,
+                            &WireResponse::error(0, "tracing disabled (run with --trace)"),
+                        )?;
+                    }
+                }
                 Ok(true)
             }
             other => {
@@ -615,14 +854,48 @@ fn serve_line(
         WireLine::Request(wire_req) => {
             let id = wire_req.id;
             let want_timings = wire_req.timings;
+            let accepted_at = Instant::now();
+            // The trace context exists before any outcome is known —
+            // rejected and shed requests get audit lines too. A
+            // well-formed client-stamped id is honored so `loadgen
+            // --remote` can correlate its own records with the gateway's.
+            let trace_ctx = shared
+                .tracer
+                .as_ref()
+                .map(|t| t.context(wire_req.trace.as_deref()));
+            // Same string `ProfileKey` displays as — valid before
+            // `into_request` consumes the frame.
+            let key = format!("{}/{}", wire_req.topology, wire_req.protocol);
+            let finish = |status: &str,
+                          shard: Option<u64>,
+                          timing: StageTiming,
+                          verdict: Option<&Verdict>| {
+                if let (Some(t), Some(ctx)) = (&shared.tracer, &trace_ctx) {
+                    t.finish(&FinishedRequest {
+                        trace: ctx.trace,
+                        id,
+                        key: &key,
+                        shard,
+                        status,
+                        timing,
+                        total_us: accepted_at.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        verdict,
+                    });
+                }
+            };
+            let stamp = |resp: WireResponse| match &trace_ctx {
+                Some(ctx) => resp.with_trace(ctx.trace.to_string()),
+                None => resp,
+            };
             if let Some(known) = &shared.cfg.known_keys {
-                let key = format!("{}/{}", wire_req.topology, wire_req.protocol);
                 if !known.contains(&key) {
                     shared.unknown_key.inc();
-                    write_line(
-                        writer,
-                        &WireResponse::error(id, format!("unknown deployment key {key}")),
-                    )?;
+                    let resp = stamp(WireResponse::error(
+                        id,
+                        format!("unknown deployment key {key}"),
+                    ));
+                    finish(wire::STATUS_ERROR, None, StageTiming::default(), None);
+                    write_line(writer, &resp)?;
                     return Ok(true);
                 }
             }
@@ -630,14 +903,27 @@ fn serve_line(
                 Ok(r) => r,
                 Err(e) => {
                     shared.codec_errors.inc();
-                    write_line(writer, &WireResponse::error(id, e.to_string()))?;
+                    let resp = stamp(WireResponse::error(id, e.to_string()));
+                    finish(wire::STATUS_ERROR, None, StageTiming::default(), None);
+                    write_line(writer, &resp)?;
                     return Ok(true);
                 }
             };
-            let accepted_at = Instant::now();
-            let key = request.key.to_string();
             let shard = shared.ring.route(&key) as usize;
-            match shared.services[shard].submit(request) {
+            // The conn worker's own span opens before submission so the
+            // shard-queue wait happens inside it; the worker thread's
+            // `serve.process` span parents here via the explicit handoff.
+            let mut gw_span = match (&trace_ctx, sam_telemetry::global()) {
+                (Some(ctx), Some(tel)) => tel.span_in("gateway.request", ctx),
+                _ => SpanGuard::disabled(),
+            };
+            if gw_span.is_recording() {
+                gw_span.field("id", id);
+                gw_span.field("key", key.as_str());
+                gw_span.field("shard", shard);
+            }
+            let submit_ctx = gw_span.context().or(trace_ctx);
+            match shared.services[shard].submit_traced(request, submit_ctx) {
                 Ok(pending) => {
                     let response = pending.wait();
                     shared.requests.inc();
@@ -648,7 +934,8 @@ fn serve_line(
                         shared.slo_violations.inc();
                     }
                     let mut timing = response.timing;
-                    let wire_resp = WireResponse::ok(response);
+                    let verdict = response.verdict.clone();
+                    let wire_resp = stamp(WireResponse::ok(response));
                     // Encoding doubles as the serialize-stage measurement;
                     // when the client asked for timings the line is
                     // re-encoded with the breakdown attached (the only
@@ -677,19 +964,72 @@ fn serve_line(
                             );
                         }
                     }
+                    finish(wire::STATUS_OK, Some(shard as u64), timing, Some(&verdict));
+                    emit_stage_children(&gw_span, &timing, accepted_at, total_us);
+                    drop(gw_span);
                     write_encoded_line(writer, &encoded)?;
                 }
                 Err(SubmitError::Rejected { queue_depth }) => {
                     shared.request_shed.inc();
-                    write_line(writer, &WireResponse::shed(id, queue_depth))?;
+                    drop(gw_span);
+                    let resp = stamp(WireResponse::shed(id, queue_depth));
+                    finish(
+                        wire::STATUS_SHED,
+                        Some(shard as u64),
+                        StageTiming::default(),
+                        None,
+                    );
+                    write_line(writer, &resp)?;
                 }
                 Err(SubmitError::Closed) => {
-                    write_line(writer, &WireResponse::error(id, "service shut down"))?;
+                    drop(gw_span);
+                    let resp = stamp(WireResponse::error(id, "service shut down"));
+                    finish(
+                        wire::STATUS_ERROR,
+                        Some(shard as u64),
+                        StageTiming::default(),
+                        None,
+                    );
+                    write_line(writer, &resp)?;
                     return Ok(false);
                 }
             }
             Ok(true)
         }
+    }
+}
+
+/// Synthesize the queue-wait and serialize stages as child spans of the
+/// live `gateway.request` span. No thread is parked inside either stage
+/// (the wait happens in a channel, the encode is measured around a
+/// call), so they cannot be spanned live — but the timing breakdown
+/// pins them exactly, and emitting them makes the telemetry JSONL carry
+/// the same stage ladder the exemplar does. Compute needs no synthesis:
+/// the worker's `serve.process` span records it for real.
+fn emit_stage_children(
+    span: &SpanGuard,
+    timing: &StageTiming,
+    accepted_at: Instant,
+    total_us: u64,
+) {
+    let (Some(tel), Some(ctx)) = (sam_telemetry::global(), span.context()) else {
+        return;
+    };
+    let base = tel.offset_us(accepted_at);
+    for (name, start_us, dur_us) in [
+        ("gateway.queue_wait", 0, timing.queue_wait_us),
+        ("gateway.serialize", total_us, timing.serialize_us),
+    ] {
+        tel.record_raw(EventRecord {
+            kind: "span".to_string(),
+            id: 0, // record_raw assigns a fresh collector-unique id
+            parent: ctx.span,
+            name: name.to_string(),
+            start_us: base.saturating_add(start_us),
+            dur_us,
+            trace: Some(ctx.trace.to_string()),
+            fields: Vec::new(),
+        });
     }
 }
 

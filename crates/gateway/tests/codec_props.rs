@@ -6,7 +6,7 @@
 
 mod common;
 
-use common::wire_request;
+use common::{traced_wire_request, wire_request};
 use proptest::prelude::*;
 use sam_serve::wire::{decode_line, FrameError, FrameReader, WireLine, WireRequest};
 use std::io::Read;
@@ -63,8 +63,15 @@ proptest! {
     fn pipelined_requests_round_trip_across_any_chunking(
         ids in proptest::collection::vec(0..1_000_000u64, 1..=12),
         sizes in proptest::collection::vec(1..9usize, 1..=6),
+        traces in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>()), 1..=12),
     ) {
-        let requests: Vec<WireRequest> = ids.iter().map(|&id| wire_request(id)).collect();
+        // Some slots carry client-stamped 128-bit trace ids (rendered as
+        // 32 hex digits, the wire form) so the codec proves it round
+        // trips them byte-exact alongside everything else.
+        let requests: Vec<WireRequest> = ids.iter().zip(traces.iter().cycle()).map(|(&id, t)| match t {
+            (true, hi, lo) => traced_wire_request(id, &format!("{hi:016x}{lo:016x}")),
+            (false, ..) => wire_request(id),
+        }).collect();
         let mut stream = Vec::new();
         for req in &requests {
             stream.extend_from_slice(req.encode().as_bytes());

@@ -101,6 +101,15 @@ pub fn wire_request(id: u64) -> WireRequest {
             None
         },
         timings: false,
+        trace: None,
+    }
+}
+
+/// The same synthetic request with a client-stamped trace id.
+pub fn traced_wire_request(id: u64, trace: &str) -> WireRequest {
+    WireRequest {
+        trace: Some(trace.to_string()),
+        ..wire_request(id)
     }
 }
 

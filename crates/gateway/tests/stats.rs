@@ -96,23 +96,25 @@ fn stats_arguments_narrow_window_and_add_prometheus_text() {
         client.recv().expect("response");
     }
 
+    // 50ms sampler × 64 slots → a 3s ring span; 2s is answerable.
     let cmd = WireCommand {
         cmd: "stats".to_string(),
-        window_s: Some(5),
+        window_s: Some(2),
         format: Some("prometheus".to_string()),
+        limit: None,
     };
     client.send_raw(&cmd.encode()).unwrap();
     let resp = client.recv().expect("stats answered");
     assert_eq!(resp.status, STATUS_OK);
     let report = resp.stats.expect("stats payload");
     assert_eq!(report.windows.len(), 1, "narrowed to the asked window");
-    assert_eq!(report.windows[0].window_s, 5);
+    assert_eq!(report.windows[0].window_s, 2);
 
     let text = resp.stats_text.expect("prometheus text");
     assert!(text.contains("# TYPE sam_gateway_requests_total counter"));
     assert!(text.contains("sam_gateway_requests_total 5"));
     assert!(text.contains("sam_gateway_shard_queue_depth{shard=\"0\"}"));
-    assert!(text.contains("sam_gateway_window_throughput_rps{window=\"5s\"}"));
+    assert!(text.contains("sam_gateway_window_throughput_rps{window=\"2s\"}"));
 
     // An unknown format is a typed error, not a silent default.
     client
@@ -121,6 +123,29 @@ fn stats_arguments_narrow_window_and_add_prometheus_text() {
     let resp = client.recv().expect("error answered");
     assert_eq!(resp.status, "error");
     assert!(resp.error.unwrap().contains("unknown stats format"));
+
+    // So are out-of-range windows: zero and beyond-the-ring both get
+    // rejected instead of silently clamped to something answerable.
+    client.send_raw("{\"cmd\":\"stats\",\"window\":0}").unwrap();
+    let resp = client.recv().expect("error answered");
+    assert_eq!(resp.status, "error");
+    assert!(
+        resp.error.unwrap().contains("at least 1 second"),
+        "window=0 rejected"
+    );
+    client.send_raw("{\"cmd\":\"stats\",\"window\":5}").unwrap();
+    let resp = client.recv().expect("error answered");
+    assert_eq!(resp.status, "error");
+    assert!(
+        resp.error.unwrap().contains("exceeds the 3s ring span"),
+        "window beyond the ring rejected"
+    );
+    // A non-count window never reaches the stats handler at all.
+    client
+        .send_raw("{\"cmd\":\"stats\",\"window\":-4}")
+        .unwrap();
+    let resp = client.recv().expect("error answered");
+    assert_eq!(resp.status, "error");
 
     drop(client);
     gateway.drain();

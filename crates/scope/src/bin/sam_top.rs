@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sam-top [--addr HOST:PORT] [--interval-ms N] [--window S]
-//!         [--polls N] [--json] [--prometheus]
+//!         [--polls N] [--json] [--prometheus] [--exemplars [N]]
 //! ```
 //!
 //! Polls the gateway's `{"cmd":"stats"}` wire command and redraws a
@@ -14,10 +14,14 @@
 //!
 //! `--json` and `--prometheus` are one-shot modes for scripts: fetch
 //! once, print the report (JSON or Prometheus text exposition) to
-//! stdout, exit 0 — or exit 1 with the error on stderr.
+//! stdout, exit 0 — or exit 1 with the error on stderr. `--exemplars`
+//! is the same for the gateway's tail-sampled request traces
+//! (`{"cmd":"trace"}`, gateways started with `--trace`): one JSONL line
+//! per exemplar, newest last.
 
 use sam_scope::Dashboard;
 use sam_serve::stats::fetch_stats;
+use sam_serve::trace::fetch_trace;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,6 +36,9 @@ struct Args {
     polls: Option<u64>,
     json: bool,
     prometheus: bool,
+    /// `Some(limit)` = one-shot exemplar dump; inner `None` asks for the
+    /// gateway's whole ring.
+    exemplars: Option<Option<u64>>,
 }
 
 impl Default for Args {
@@ -43,14 +50,25 @@ impl Default for Args {
             polls: None,
             json: false,
             prometheus: false,
+            exemplars: None,
         }
     }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
+        if flag == "--exemplars" {
+            // The count is optional: a bare `--exemplars` dumps the whole
+            // ring, `--exemplars 5` the newest five.
+            let limit = it.peek().and_then(|v| v.parse::<u64>().ok());
+            if limit.is_some() {
+                it.next();
+            }
+            args.exemplars = Some(limit);
+            continue;
+        }
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         macro_rules! parse {
             ($name:literal) => {
@@ -75,7 +93,9 @@ fn parse_args() -> Result<Args, String> {
                      --window S        ask for one specific window instead of 1s/10s/60s\n  \
                      --polls N         stop after N frames (default: until interrupted)\n  \
                      --json            fetch once, print the JSON report, exit\n  \
-                     --prometheus      fetch once, print the Prometheus text exposition, exit"
+                     --prometheus      fetch once, print the Prometheus text exposition, exit\n  \
+                     --exemplars [N]   fetch once, print [the newest N] tail-sampled request\n                    \
+                     traces as JSONL, exit (gateway must run with --trace)"
                 );
                 std::process::exit(0);
             }
@@ -85,8 +105,8 @@ fn parse_args() -> Result<Args, String> {
     if args.interval_ms == 0 {
         return Err("--interval-ms must be at least 1".into());
     }
-    if args.json && args.prometheus {
-        return Err("--json and --prometheus are mutually exclusive".into());
+    if (args.json as u8) + (args.prometheus as u8) + (args.exemplars.is_some() as u8) > 1 {
+        return Err("--json, --prometheus, and --exemplars are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -109,6 +129,25 @@ fn main() -> ExitCode {
         out.write_all(s.as_bytes())
             .and_then(|_| out.flush())
             .is_ok()
+    }
+
+    // One-shot exemplar dump: one JSONL line per tail-sampled trace.
+    if let Some(limit) = args.exemplars {
+        return match fetch_trace(&args.addr, limit, timeout) {
+            Ok(exemplars) => {
+                for ex in &exemplars {
+                    let line = serde_json::to_string(ex).expect("exemplar serializes");
+                    if !emit(&format!("{line}\n")) {
+                        break;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sam-top: {}: {e}", args.addr);
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // One-shot script modes: fetch, print, exit.

@@ -109,6 +109,13 @@ impl Dashboard {
                 slo, t.slo_violations, t.slow_requests
             );
         }
+        if t.traced_requests > 0 {
+            let _ = writeln!(
+                out,
+                "tracing: {} traced, {} exemplars kept, {} audit lines",
+                t.traced_requests, t.trace_exemplars, t.audit_records
+            );
+        }
         let _ = writeln!(
             out,
             "{:<8}{:>10}{:>9}{:>9}{:>9}{:>8}{:>8}{:>9}",
@@ -214,6 +221,9 @@ pub fn doc_sample_report() -> StatsReport {
             slow_requests: 3,
             slo_violations: 2,
             p99_us: 2048,
+            traced_requests: 1200,
+            trace_exemplars: 9,
+            audit_records: 1200,
         },
     }
 }
@@ -244,6 +254,7 @@ mod tests {
         assert!(frame.contains("requests 1200 served, 12 shed"));
         assert!(frame.contains("cache 99.1% hit"));
         assert!(frame.contains("slo p99 <= 5000us: 2 violations"));
+        assert!(frame.contains("tracing: 1200 traced, 9 exemplars kept, 1200 audit lines"));
         assert!(frame.contains("10s"));
         assert!(frame.contains("stages p99 (10s): queue 120us | compute 900us | serialize 8us"));
         assert!(frame.contains("shards: 0:[q 2, 610 req] 1:[q 0, 590 req]"));

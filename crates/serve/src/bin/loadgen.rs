@@ -40,7 +40,9 @@ use sam_experiments::serving::{find, replay_corpus, train_profile, CorpusEntry};
 use sam_serve::prelude::*;
 use sam_serve::service::ProfileSource;
 use sam_serve::wire::{FrameReader, WireRequest, WireResponse, STATUS_OK, STATUS_SHED};
-use sam_telemetry::{report::write_jsonl, BenchReport, Registry, RegistrySnapshot, Telemetry};
+use sam_telemetry::{
+    report::write_jsonl, BenchReport, Registry, RegistrySnapshot, Telemetry, TraceIdGen,
+};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::TcpStream;
@@ -175,22 +177,56 @@ fn profile_source() -> ProfileSource {
 struct Tally {
     completed: u64,
     shed: u64,
-    transport_errors: u64,
+    transport: TransportErrors,
     confirmed: u64,
     explained: u64,
     submitted_ids: u64,
     responded_ids: u64,
+    slowest: Option<SlowestRequest>,
 }
 
 impl Tally {
     fn merge(&mut self, other: Tally) {
         self.completed += other.completed;
         self.shed += other.shed;
-        self.transport_errors += other.transport_errors;
+        self.transport.connect += other.transport.connect;
+        self.transport.read += other.transport.read;
+        self.transport.decode += other.transport.decode;
+        self.transport.protocol += other.transport.protocol;
         self.confirmed += other.confirmed;
         self.explained += other.explained;
         self.submitted_ids ^= other.submitted_ids;
         self.responded_ids ^= other.responded_ids;
+        if other
+            .slowest
+            .as_ref()
+            .map(|s| s.latency_us)
+            .unwrap_or_default()
+            > self
+                .slowest
+                .as_ref()
+                .map(|s| s.latency_us)
+                .unwrap_or_default()
+        {
+            self.slowest = other.slowest;
+        }
+    }
+
+    fn note_completed(&mut self, id: u64, latency_us: u64, trace: Option<String>) {
+        if latency_us
+            > self
+                .slowest
+                .as_ref()
+                .map(|s| s.latency_us)
+                .unwrap_or_default()
+            || self.slowest.is_none()
+        {
+            self.slowest = Some(SlowestRequest {
+                id,
+                latency_us,
+                trace,
+            });
+        }
     }
 }
 
@@ -252,15 +288,18 @@ fn main() -> ExitCode {
                 }
             }
         });
+    let transport_errors = tally.transport.total();
     let summary = LoadgenSummary {
         kind: "loadgen_summary".to_string(),
         requests: args.requests,
         completed: tally.completed,
         shed: tally.shed,
-        transport_errors: tally.transport_errors,
+        transport_errors,
+        transport_error_breakdown: tally.transport,
+        slowest: tally.slowest.clone(),
         dropped_responses: args
             .requests
-            .saturating_sub(tally.completed + tally.shed + tally.transport_errors),
+            .saturating_sub(tally.completed + tally.shed + transport_errors),
         confirmed: tally.confirmed,
         explained: tally.explained,
         bench: BenchReport::new("loadgen", elapsed.as_secs_f64(), snapshot.clone()),
@@ -296,12 +335,12 @@ fn main() -> ExitCode {
     // Every request must be accounted for: answered, shed, or charged to
     // the transport. When the transport was clean, the XOR of answered
     // ids must match the XOR of sent ids exactly.
-    if tally.completed + tally.shed + tally.transport_errors != args.requests
-        || (tally.transport_errors == 0 && tally.responded_ids != tally.submitted_ids)
+    if tally.completed + tally.shed + transport_errors != args.requests
+        || (transport_errors == 0 && tally.responded_ids != tally.submitted_ids)
     {
         eprintln!(
             "loadgen: RESPONSE ACCOUNTING BROKEN: {} completed + {} shed + {} transport != {}",
-            tally.completed, tally.shed, tally.transport_errors, args.requests
+            tally.completed, tally.shed, transport_errors, args.requests
         );
         return ExitCode::FAILURE;
     }
@@ -518,7 +557,15 @@ fn remote_run(
             std::thread::Builder::new()
                 .name(format!("loadgen-conn-{conn}"))
                 .spawn(move || {
-                    remote_client(&addr, &corpus, &ids, per_conn_rate, &registry, &metrics)
+                    remote_client(
+                        &addr,
+                        conn,
+                        &corpus,
+                        &ids,
+                        per_conn_rate,
+                        &registry,
+                        &metrics,
+                    )
                 })
                 .expect("spawn client connection")
         })
@@ -543,6 +590,7 @@ fn remote_run(
 /// a transport error).
 fn remote_client(
     addr: &str,
+    conn: usize,
     corpus: &[WireEntry],
     ids: &[u64],
     rate: f64,
@@ -552,12 +600,16 @@ fn remote_client(
     let mut tally = Tally::default();
     let cache_hits = registry.counter("serve.cache_hits");
     let cache_misses = registry.counter("serve.cache_misses");
+    // Every request carries a client-stamped trace id, deterministic in
+    // (connection, send order), so a soak can be correlated against the
+    // gateway's exemplars and audit log after the fact.
+    let trace_gen = TraceIdGen::new(0x10adb00c ^ conn as u64);
 
     let stream = match connect_with_retry(addr) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("loadgen: connecting {addr}: {e}");
-            tally.transport_errors += ids.len() as u64;
+            tally.transport.connect += ids.len() as u64;
             return tally;
         }
     };
@@ -568,63 +620,71 @@ fn remote_client(
         Ok(s) => FrameReader::new(BufReader::new(s), sam_serve::wire::MAX_LINE_BYTES),
         Err(e) => {
             eprintln!("loadgen: cloning socket: {e}");
-            tally.transport_errors += ids.len() as u64;
+            tally.transport.connect += ids.len() as u64;
             return tally;
         }
     };
     let mut writer = BufWriter::new(stream);
 
-    // (id, sent-at) for every request written but not yet answered.
-    let mut in_flight: VecDeque<(u64, Instant)> = VecDeque::with_capacity(PIPELINE_WINDOW);
+    // (id, sent-at, trace) for every request written but not yet
+    // answered.
+    let mut in_flight: VecDeque<(u64, Instant, String)> = VecDeque::with_capacity(PIPELINE_WINDOW);
     let started = Instant::now();
 
-    let mut read_one = |in_flight: &mut VecDeque<(u64, Instant)>, tally: &mut Tally| -> bool {
-        let line = match reader.next_frame() {
-            Ok(Some(line)) => line,
-            Ok(None) | Err(_) => return false, // EOF / timeout / IO error
-        };
-        let resp = match WireResponse::decode(&line) {
-            Ok(r) => r,
-            Err(_) => {
-                tally.transport_errors += 1;
-                in_flight.pop_front();
+    let mut read_one =
+        |in_flight: &mut VecDeque<(u64, Instant, String)>, tally: &mut Tally| -> bool {
+            let line = match reader.next_frame() {
+                Ok(Some(line)) => line,
+                Ok(None) | Err(_) => return false, // EOF / timeout / IO error
+            };
+            let resp = match WireResponse::decode(&line) {
+                Ok(r) => r,
+                Err(_) => {
+                    tally.transport.decode += 1;
+                    in_flight.pop_front();
+                    return true;
+                }
+            };
+            let Some((id, sent, trace)) = in_flight.pop_front() else {
+                tally.transport.protocol += 1; // unsolicited response line
+                return true;
+            };
+            if resp.id != id && resp.status == STATUS_OK {
+                tally.transport.protocol += 1; // reordered — protocol broken
                 return true;
             }
-        };
-        let Some((id, sent)) = in_flight.pop_front() else {
-            tally.transport_errors += 1; // unsolicited response line
-            return true;
-        };
-        if resp.id != id && resp.status == STATUS_OK {
-            tally.transport_errors += 1; // reordered — protocol broken
-            return true;
-        }
-        match resp.status.as_str() {
-            STATUS_OK => {
-                tally.completed += 1;
-                tally.responded_ids ^= resp.id;
-                metrics.record_completed(sent.elapsed());
-                if resp.verdict.as_ref().is_some_and(|v| v.confirmed) {
-                    tally.confirmed += 1;
+            match resp.status.as_str() {
+                STATUS_OK => {
+                    tally.completed += 1;
+                    tally.responded_ids ^= resp.id;
+                    let latency = sent.elapsed();
+                    metrics.record_completed(latency);
+                    tally.note_completed(
+                        id,
+                        latency.as_micros().min(u64::MAX as u128) as u64,
+                        Some(trace),
+                    );
+                    if resp.verdict.as_ref().is_some_and(|v| v.confirmed) {
+                        tally.confirmed += 1;
+                    }
+                    if resp.explanation.is_some() {
+                        tally.explained += 1;
+                    }
+                    match resp.profile_cache_hit {
+                        Some(true) => cache_hits.inc(),
+                        Some(false) => cache_misses.inc(),
+                        None => {}
+                    }
                 }
-                if resp.explanation.is_some() {
-                    tally.explained += 1;
+                STATUS_SHED => {
+                    tally.shed += 1;
+                    tally.responded_ids ^= id;
+                    metrics.record_rejected();
                 }
-                match resp.profile_cache_hit {
-                    Some(true) => cache_hits.inc(),
-                    Some(false) => cache_misses.inc(),
-                    None => {}
-                }
+                _ => tally.transport.protocol += 1, // error / unexpected drain
             }
-            STATUS_SHED => {
-                tally.shed += 1;
-                tally.responded_ids ^= id;
-                metrics.record_rejected();
-            }
-            _ => tally.transport_errors += 1, // error / unexpected drain
-        }
-        true
-    };
+            true
+        };
 
     for (k, &id) in ids.iter().enumerate() {
         if rate > 0.0 {
@@ -638,12 +698,13 @@ fn remote_client(
         }
         while in_flight.len() >= PIPELINE_WINDOW {
             if !read_one(&mut in_flight, &mut tally) {
-                tally.transport_errors += in_flight.len() as u64;
-                tally.transport_errors += (ids.len() - k) as u64;
+                tally.transport.read += in_flight.len() as u64;
+                tally.transport.read += (ids.len() - k) as u64;
                 return tally;
             }
         }
         let entry = &corpus[(id % corpus.len() as u64) as usize];
+        let trace = trace_gen.next_id().to_string();
         let line = WireRequest {
             id,
             topology: entry.topology.clone(),
@@ -651,6 +712,7 @@ fn remote_client(
             routes: entry.routes.clone(),
             probe_ack_ratio: if entry.attacked { Some(0.1) } else { None },
             timings: false,
+            trace: Some(trace.clone()),
         }
         .encode();
         if writer
@@ -659,16 +721,16 @@ fn remote_client(
             .and_then(|()| writer.flush())
             .is_err()
         {
-            tally.transport_errors += in_flight.len() as u64 + (ids.len() - k) as u64;
+            tally.transport.read += in_flight.len() as u64 + (ids.len() - k) as u64;
             return tally;
         }
         tally.submitted_ids ^= id;
         metrics.record_submitted();
-        in_flight.push_back((id, Instant::now()));
+        in_flight.push_back((id, Instant::now(), trace));
     }
     while !in_flight.is_empty() {
         if !read_one(&mut in_flight, &mut tally) {
-            tally.transport_errors += in_flight.len() as u64;
+            tally.transport.read += in_flight.len() as u64;
             break;
         }
     }

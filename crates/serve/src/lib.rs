@@ -44,18 +44,20 @@ pub mod report;
 pub mod request;
 pub mod service;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 /// The service-facing surface in one import.
 pub mod prelude {
     pub use crate::cache::ProfileCache;
     pub use crate::metrics::{MetricsReport, ServiceMetrics};
-    pub use crate::report::LoadgenSummary;
+    pub use crate::report::{LoadgenSummary, SlowestRequest, TransportErrors};
     pub use crate::request::{
         DetectionRequest, DetectionResponse, ProfileKey, StageTiming, SubmitError, Verdict,
     };
     pub use crate::service::{DetectionService, Pending, ServiceConfig};
     pub use crate::stats::{ShardStats, StatsReport, StatsTotals, WindowStats};
+    pub use crate::trace::{AuditRecord, TraceExemplar, TraceSpan};
     pub use crate::wire::{
         decode_line, FrameError, FrameReader, WireCommand, WireError, WireLine, WireRequest,
         WireResponse,

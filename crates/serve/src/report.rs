@@ -10,6 +10,44 @@ use sam_telemetry::BenchReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Where a remote soak's transport failures happened. The lumped
+/// [`LoadgenSummary::transport_errors`] stays (scripts assert on it);
+/// this breakdown says *which* layer lost the work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportErrors {
+    /// Connects that never succeeded (every request planned for the
+    /// connection is charged here).
+    pub connect: u64,
+    /// Socket losses mid-soak: read timeouts, EOF with responses
+    /// outstanding, and write failures on a dead socket.
+    pub read: u64,
+    /// Response lines that arrived but would not parse.
+    pub decode: u64,
+    /// Protocol violations: unsolicited, reordered, or unexpected-status
+    /// response lines.
+    pub protocol: u64,
+}
+
+impl TransportErrors {
+    /// Sum across every category — must equal the lumped counter.
+    pub fn total(&self) -> u64 {
+        self.connect + self.read + self.decode + self.protocol
+    }
+}
+
+/// The slowest completed request of a remote soak — the first place to
+/// look after a bad p99, so the summary carries its trace id for
+/// `{"cmd":"trace"}` / audit-log lookup.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlowestRequest {
+    /// Correlation id of the request.
+    pub id: u64,
+    /// Round-trip latency as the client measured it, microseconds.
+    pub latency_us: u64,
+    /// The trace id the client stamped on it, 32 hex digits.
+    pub trace: Option<String>,
+}
+
 /// The final summary of one loadgen run, assembled once from the
 /// service's registry snapshot plus the client-side counters. Stdout and
 /// `--json` render this same struct, so the two outputs cannot disagree.
@@ -32,6 +70,12 @@ pub struct LoadgenSummary {
     /// Kept separate from `shed` so soak numbers distinguish "the service
     /// protected itself" from "the transport lost work".
     pub transport_errors: u64,
+    /// `transport_errors` split by failure site;
+    /// `transport_error_breakdown.total() == transport_errors` always.
+    pub transport_error_breakdown: TransportErrors,
+    /// The slowest completed request and its trace id (remote mode;
+    /// `None` in-process or when nothing completed).
+    pub slowest: Option<SlowestRequest>,
     /// Accepted requests whose response never came back (always 0 unless
     /// the response accounting is broken).
     pub dropped_responses: u64,
@@ -85,6 +129,26 @@ impl fmt::Display for LoadgenSummary {
         if self.explained > 0 {
             writeln!(f, "explained responses: {}", self.explained)?;
         }
+        if self.transport_errors > 0 {
+            let b = &self.transport_error_breakdown;
+            writeln!(
+                f,
+                "transport errors: {} connect, {} read, {} decode, {} protocol",
+                b.connect, b.read, b.decode, b.protocol
+            )?;
+        }
+        if let Some(s) = &self.slowest {
+            writeln!(
+                f,
+                "slowest request: id {} at {}us{}",
+                s.id,
+                s.latency_us,
+                match &s.trace {
+                    Some(t) => format!(" (trace {t})"),
+                    None => String::new(),
+                }
+            )?;
+        }
         writeln!(
             f,
             "profile cache: {} hits / {} misses",
@@ -123,6 +187,15 @@ mod tests {
             completed: 97,
             shed: 2,
             transport_errors: 1,
+            transport_error_breakdown: TransportErrors {
+                decode: 1,
+                ..TransportErrors::default()
+            },
+            slowest: Some(SlowestRequest {
+                id: 41,
+                latency_us: 900,
+                trace: Some("000000000000002a000000000000007b".to_string()),
+            }),
             dropped_responses: 0,
             confirmed: 30,
             explained: 98,
@@ -156,6 +229,13 @@ mod tests {
         assert_eq!(back.cache_hits(), 7);
         assert_eq!(back.shed, 2, "service shed kept separate");
         assert_eq!(back.transport_errors, 1, "transport failures kept separate");
+        assert_eq!(back.transport_error_breakdown.decode, 1);
+        assert_eq!(
+            back.transport_error_breakdown.total(),
+            back.transport_errors,
+            "breakdown sums to the lumped counter"
+        );
+        assert_eq!(back.slowest.unwrap().id, 41);
     }
 
     #[test]
@@ -164,5 +244,15 @@ mod tests {
         assert!(text.contains("100 requests"), "{text}");
         assert!(text.contains("7 hits / 3 misses"), "{text}");
         assert!(text.contains("explained responses: 98"), "{text}");
+        assert!(
+            text.contains("transport errors: 0 connect, 0 read, 1 decode, 0 protocol"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "slowest request: id 41 at 900us (trace 000000000000002a000000000000007b)"
+            ),
+            "{text}"
+        );
     }
 }

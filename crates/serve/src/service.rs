@@ -29,7 +29,7 @@ use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, SubmitErro
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use manet_routing::{ProbeOutcome, Route};
 use sam::{NormalProfile, Procedure, ProcedureConfig, SamConfig, SamDetector};
-use sam_telemetry::Registry;
+use sam_telemetry::{Registry, TraceContext};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -118,6 +118,9 @@ impl Pending {
 struct Job {
     request: DetectionRequest,
     accepted_at: Instant,
+    /// The request's trace, handed explicitly across the channel — the
+    /// worker thread's span stack cannot see the submitter's spans.
+    trace: Option<TraceContext>,
     reply: Pending,
 }
 
@@ -210,12 +213,25 @@ impl DetectionService {
     /// shard's queue — callers decide whether to retry, downsample, or
     /// surface the overload.
     pub fn submit(&self, request: DetectionRequest) -> Result<Pending, SubmitError> {
+        self.submit_traced(request, None)
+    }
+
+    /// [`submit`](Self::submit) with a trace context carried across the
+    /// shard boundary: when telemetry is installed, the worker's
+    /// `serve.process` span is parented under `trace` instead of being a
+    /// detached root. `None` is exactly `submit` — no trace, no cost.
+    pub fn submit_traced(
+        &self,
+        request: DetectionRequest,
+        trace: Option<TraceContext>,
+    ) -> Result<Pending, SubmitError> {
         let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let n = self.shards.len();
         let (theirs, ours) = Pending::new();
         let mut job = Job {
             request,
             accepted_at: Instant::now(),
+            trace,
             reply: theirs,
         };
         for i in 0..n {
@@ -323,6 +339,7 @@ impl Worker {
         let Job {
             request,
             accepted_at,
+            trace,
             reply,
         } = job;
         // Stage clock: submission → here is queue wait (plus batch
@@ -330,6 +347,22 @@ impl Worker {
         // serve.* histograms and travel back on the response.
         let dequeued_at = Instant::now();
         let queue_wait = dequeued_at.duration_since(accepted_at);
+        // Traced requests open their compute under the handed-off
+        // context, stitching this thread's work into the submitter's
+        // trace. Untraced (or telemetry-off) requests skip even the
+        // global lookup.
+        let mut span = match &trace {
+            Some(ctx) => match sam_telemetry::global() {
+                Some(tel) => tel.span_in("serve.process", ctx),
+                None => sam_telemetry::SpanGuard::disabled(),
+            },
+            None => sam_telemetry::SpanGuard::disabled(),
+        };
+        if span.is_recording() {
+            span.field("id", request.id);
+            span.field("key", &request.key);
+            span.field("queue_wait_us", queue_wait.as_micros());
+        }
         let (profile, cache_hit) = self
             .cache
             .get_or_train(&request.key, || (self.profiles)(&request.key));
@@ -358,6 +391,7 @@ impl Worker {
         let compute = dequeued_at.elapsed();
         self.metrics.record_completed(accepted_at.elapsed());
         self.metrics.record_stages(queue_wait, compute);
+        drop(span); // close before the caller wakes
         reply.fill(DetectionResponse {
             id: request.id,
             verdict: Verdict::from_outcome(&outcome),

@@ -48,6 +48,7 @@
 
 use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, StageTiming, Verdict};
 use crate::stats::StatsReport;
+use crate::trace::TraceExemplar;
 use manet_routing::Route;
 use manet_sim::NodeId;
 use serde::{Deserialize, Serialize};
@@ -253,12 +254,16 @@ pub struct WireRequest {
     /// (`queue_wait_us`/`compute_us`/`serialize_us`) in the response's
     /// `timings` field.
     pub timings: bool,
+    /// Client-stamped trace id (32 hex digits). The gateway adopts it for
+    /// the request's spans and echoes it on the response; absent or
+    /// unparseable → the gateway mints its own.
+    pub trace: Option<String>,
 }
 
 // Hand-written instead of derived: the derive treats every key as
-// required, but `timings` (and the optional `probe_ack_ratio`) joined
-// the protocol after clients shipped — a request line that omits them
-// must still decode, defaulting to `false`/`None`.
+// required, but `timings`, `trace` (and the optional `probe_ack_ratio`)
+// joined the protocol after clients shipped — a request line that omits
+// them must still decode, defaulting to `false`/`None`.
 impl Deserialize for WireRequest {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let required = |name: &str| {
@@ -276,6 +281,10 @@ impl Deserialize for WireRequest {
             },
             timings: match v.field("timings") {
                 None => false,
+                Some(t) => Deserialize::from_value(t)?,
+            },
+            trace: match v.field("trace") {
+                None => None,
                 Some(t) => Deserialize::from_value(t)?,
             },
         })
@@ -296,6 +305,7 @@ impl WireRequest {
                 .collect(),
             probe_ack_ratio: req.probe_ack_ratio,
             timings: false,
+            trace: None,
         }
     }
 
@@ -338,6 +348,9 @@ pub struct WireCommand {
     /// For `stats`: `"prometheus"` adds the text exposition to the
     /// response's `stats_text` field. Absent or `"json"` → JSON only.
     pub format: Option<String>,
+    /// For `trace`: return at most this many exemplars, newest last.
+    /// Absent → every exemplar currently in the sampler ring.
+    pub limit: Option<u64>,
 }
 
 impl WireCommand {
@@ -347,6 +360,7 @@ impl WireCommand {
             cmd: cmd.into(),
             window_s: None,
             format: None,
+            limit: None,
         }
     }
 
@@ -358,6 +372,9 @@ impl WireCommand {
         }
         if let Some(f) = &self.format {
             fields.push(("format".to_string(), serde::Value::Str(f.clone())));
+        }
+        if let Some(n) = self.limit {
+            fields.push(("limit".to_string(), serde::Value::UInt(n)));
         }
         serde_json::to_string(&serde::Value::Object(fields)).expect("wire command serializes")
     }
@@ -397,10 +414,18 @@ pub fn decode_line(bytes: &[u8]) -> Result<WireLine, WireError> {
                     .to_string(),
             ),
         };
+        let limit = match value.field("limit") {
+            None | Some(serde::Value::Null) => None,
+            Some(n) => Some(
+                <u64 as Deserialize>::from_value(n)
+                    .map_err(|_| WireError::Json("\"limit\" must be a count".to_string()))?,
+            ),
+        };
         return Ok(WireLine::Command(WireCommand {
             cmd: cmd.to_string(),
             window_s,
             format,
+            limit,
         }));
     }
     <WireRequest as serde::Deserialize>::from_value(&value)
@@ -415,7 +440,7 @@ pub fn decode_line(bytes: &[u8]) -> Result<WireLine, WireError> {
 /// One response line. A flat struct (rather than an enum) keeps every
 /// field addressable by `jq` without knowing the variant encoding; the
 /// `status` constants above discriminate.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct WireResponse {
     /// Correlation id from the request (0 when the line had none).
     pub id: u64,
@@ -439,8 +464,45 @@ pub struct WireResponse {
     /// Prometheus-style text exposition of `stats`, when the command
     /// asked for `"format":"prometheus"`.
     pub stats_text: Option<String>,
+    /// The request's trace id (32 hex digits), echoed when the gateway
+    /// runs with `--trace`.
+    pub trace: Option<String>,
+    /// Recent tail-sampled exemplars, answering `{"cmd":"trace"}`.
+    pub exemplars: Option<Vec<TraceExemplar>>,
     /// Failure reason, on `"error"`.
     pub error: Option<String>,
+}
+
+// Hand-written for the same reason as `WireRequest`: `trace` and
+// `exemplars` joined the response after clients shipped, and a new
+// client must still decode an old gateway's lines (missing → `None`).
+impl Deserialize for WireResponse {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::msg(format!("missing field `{name}`")))
+        };
+        fn opt<T: Deserialize>(v: &serde::Value, name: &str) -> Result<Option<T>, serde::DeError> {
+            match v.field(name) {
+                None => Ok(None),
+                Some(f) => <Option<T> as Deserialize>::from_value(f),
+            }
+        }
+        Ok(WireResponse {
+            id: Deserialize::from_value(required("id")?)?,
+            status: Deserialize::from_value(required("status")?)?,
+            verdict: opt(v, "verdict")?,
+            profile_cache_hit: opt(v, "profile_cache_hit")?,
+            explanation: opt(v, "explanation")?,
+            queue_depth: opt(v, "queue_depth")?,
+            timings: opt(v, "timings")?,
+            stats: opt(v, "stats")?,
+            stats_text: opt(v, "stats_text")?,
+            trace: opt(v, "trace")?,
+            exemplars: opt(v, "exemplars")?,
+            error: opt(v, "error")?,
+        })
+    }
 }
 
 impl WireResponse {
@@ -456,6 +518,8 @@ impl WireResponse {
             timings: None,
             stats: None,
             stats_text: None,
+            trace: None,
+            exemplars: None,
             error: None,
         }
     }
@@ -464,6 +528,20 @@ impl WireResponse {
     pub fn with_timings(mut self, timings: StageTiming) -> Self {
         self.timings = Some(timings);
         self
+    }
+
+    /// Echo the request's trace id (gateways running with `--trace`).
+    pub fn with_trace(mut self, trace: impl Into<String>) -> Self {
+        self.trace = Some(trace.into());
+        self
+    }
+
+    /// The answer to `{"cmd":"trace"}`: recent tail-sampled exemplars,
+    /// newest last.
+    pub fn trace_exemplars(exemplars: Vec<TraceExemplar>) -> Self {
+        let mut resp = WireResponse::ok_empty();
+        resp.exemplars = Some(exemplars);
+        resp
     }
 
     /// The answer to `{"cmd":"stats"}`: a windowed report, plus the
@@ -479,6 +557,8 @@ impl WireResponse {
             timings: None,
             stats: Some(report),
             stats_text: text,
+            trace: None,
+            exemplars: None,
             error: None,
         }
     }
@@ -495,6 +575,8 @@ impl WireResponse {
             timings: None,
             stats: None,
             stats_text: None,
+            trace: None,
+            exemplars: None,
             error: None,
         }
     }
@@ -511,6 +593,8 @@ impl WireResponse {
             timings: None,
             stats: None,
             stats_text: None,
+            trace: None,
+            exemplars: None,
             error: None,
         }
     }
@@ -527,6 +611,8 @@ impl WireResponse {
             timings: None,
             stats: None,
             stats_text: None,
+            trace: None,
+            exemplars: None,
             error: None,
         }
     }
@@ -543,6 +629,8 @@ impl WireResponse {
             timings: None,
             stats: None,
             stats_text: None,
+            trace: None,
+            exemplars: None,
             error: Some(reason.into()),
         }
     }
@@ -576,6 +664,11 @@ mod tests {
                 Some(0.25)
             },
             timings: id.is_multiple_of(3),
+            trace: if id.is_multiple_of(2) {
+                None
+            } else {
+                Some(format!("{:032x}", id))
+            },
         }
     }
 
@@ -630,6 +723,7 @@ mod tests {
             cmd: "stats".to_string(),
             window_s: Some(10),
             format: Some("prometheus".to_string()),
+            limit: None,
         };
         match decode_line(cmd.encode().as_bytes()).unwrap() {
             WireLine::Command(c) => assert_eq!(c, cmd),
@@ -677,6 +771,54 @@ mod tests {
             WireLine::Request(r) => assert!(r.timings),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn unknown_future_fields_are_ignored_and_trace_rides_along() {
+        // A client from the future sends keys this build has never heard
+        // of: the decoder must take what it knows and drop the rest —
+        // that leniency is exactly what let `trace` itself ship.
+        let line = br#"{"id":4,"topology":"t","protocol":"p","routes":[[0,1,2]],"deadline_us":500,"priority":"high","trace":"000000000000002a000000000000007b"}"#;
+        match decode_line(line).unwrap() {
+            WireLine::Request(r) => {
+                assert_eq!(r.id, 4);
+                assert_eq!(r.trace.as_deref(), Some("000000000000002a000000000000007b"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Commands tolerate unknown keys the same way.
+        match decode_line(b"{\"cmd\":\"trace\",\"limit\":5,\"verbosity\":2}").unwrap() {
+            WireLine::Command(c) => {
+                assert_eq!(c.cmd, "trace");
+                assert_eq!(c.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Explicit null trace reads as absent; a stamped one round-trips
+        // through encode.
+        let mut stamped = req(2);
+        stamped.trace = Some("ffffffffffffffff0000000000000001".to_string());
+        match decode_line(stamped.encode().as_bytes()).unwrap() {
+            WireLine::Request(r) => assert_eq!(*r, stamped),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_from_pre_trace_gateways_still_decode() {
+        // A response line captured before `trace`/`exemplars` existed.
+        let line = br#"{"id":7,"status":"ok","verdict":null,"profile_cache_hit":true,"explanation":null,"queue_depth":null,"timings":null,"stats":null,"stats_text":null,"error":null}"#;
+        let back = WireResponse::decode(line).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.trace, None);
+        assert_eq!(back.exemplars, None);
+        // And the new fields round-trip when present.
+        let resp = WireResponse::ok_empty().with_trace("000000000000002a000000000000007b");
+        let back = WireResponse::decode(resp.encode().as_bytes()).unwrap();
+        assert_eq!(
+            back.trace.as_deref(),
+            Some("000000000000002a000000000000007b")
+        );
     }
 
     #[test]

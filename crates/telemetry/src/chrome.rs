@@ -18,12 +18,15 @@ pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
 /// Convert one record into a trace-event object on process `pid`,
 /// track `tid`.
 pub fn event_to_chrome(r: &EventRecord, pid: u64, tid: u64) -> Value {
-    let args = Value::Object(
-        r.fields
-            .iter()
-            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
-            .collect(),
-    );
+    let mut arg_pairs: Vec<(String, Value)> = r
+        .fields
+        .iter()
+        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+        .collect();
+    if let Some(trace) = &r.trace {
+        arg_pairs.push(("trace".to_string(), Value::Str(trace.clone())));
+    }
+    let args = Value::Object(arg_pairs);
     let mut pairs = vec![
         ("name", Value::Str(r.name.clone())),
         ("cat", Value::Str("telemetry".to_string())),
@@ -78,8 +81,21 @@ mod tests {
             name: "discovery".to_string(),
             start_us: 100,
             dur_us: 2_500,
+            trace: None,
             fields: vec![("routes".to_string(), "4".to_string())],
         }
+    }
+
+    #[test]
+    fn trace_ids_ride_along_in_args() {
+        let mut r = span_record();
+        r.trace = Some("00000000000000aa00000000000000bb".to_string());
+        let v = event_to_chrome(&r, 1, 1);
+        let args = v.field("args").unwrap();
+        assert_eq!(
+            args.field("trace").and_then(Value::as_str),
+            Some("00000000000000aa00000000000000bb")
+        );
     }
 
     #[test]

@@ -45,11 +45,13 @@ pub mod chrome;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 pub mod window;
 
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use report::{BenchReport, TelemetryReport};
 pub use span::{EventRecord, SpanGuard};
+pub use trace::{TraceContext, TraceId, TraceIdGen};
 pub use window::{WindowDelta, WindowRing, DEFAULT_WINDOW_SLOTS};
 
 use crossbeam::channel::{unbounded, Receiver};
@@ -101,6 +103,34 @@ impl Telemetry {
         SpanGuard::recording(self.shared.clone(), name)
     }
 
+    /// Open a recording span under an explicit [`TraceContext`] instead
+    /// of the thread-local stack — the cross-thread handoff used when a
+    /// request hops a channel boundary. Spans nested inside the guard
+    /// (same thread) inherit the trace automatically.
+    pub fn span_in(&self, name: &str, ctx: &TraceContext) -> SpanGuard {
+        SpanGuard::recording_in(self.shared.clone(), name, ctx)
+    }
+
+    /// Inject a pre-built record into the collector, assigning it a fresh
+    /// id when `record.id` is 0. Returns the record's id. This is how the
+    /// gateway emits spans it *synthesizes* from stage timings after a
+    /// request completes, rather than measuring with live guards.
+    pub fn record_raw(&self, mut record: EventRecord) -> u64 {
+        if record.id == 0 {
+            record.id = self.shared.fresh_id();
+        }
+        let id = record.id;
+        let _ = self.shared.tx.send(record);
+        id
+    }
+
+    /// Microseconds from this context's epoch to `at` (saturating), the
+    /// same clock `start_us` is expressed in — lets callers place
+    /// synthesized records on the shared span timeline.
+    pub fn offset_us(&self, at: Instant) -> u64 {
+        self.shared.micros_since_epoch(at)
+    }
+
     /// Record an instantaneous point event with the given fields.
     pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
         let now = Instant::now();
@@ -111,6 +141,7 @@ impl Telemetry {
             name: name.to_string(),
             start_us: self.shared.micros_since_epoch(now),
             dur_us: 0,
+            trace: None,
             fields: fields
                 .iter()
                 .map(|&(k, v)| (k.to_string(), v.to_string()))
@@ -183,6 +214,7 @@ pub mod prelude {
     };
     pub use crate::report::{write_jsonl, BenchReport, TelemetryReport};
     pub use crate::span::{EventRecord, SpanGuard};
+    pub use crate::trace::{TraceContext, TraceId, TraceIdGen};
     pub use crate::window::{WindowDelta, WindowRing, DEFAULT_WINDOW_SLOTS};
     pub use crate::{enabled, global, install, span, uninstall, Telemetry};
 }

@@ -178,6 +178,7 @@ mod tests {
             name: name.to_string(),
             start_us: 0,
             dur_us,
+            trace: None,
             fields: vec![],
         }
     }

@@ -13,6 +13,7 @@
 //! [`elapsed`](SpanGuard::elapsed) for progress output with telemetry
 //! off.
 
+use crate::trace::{TraceContext, TraceId};
 use crossbeam::channel::Sender;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One finished span or point event, as exported to JSONL.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, Serialize, PartialEq)]
 pub struct EventRecord {
     /// Line discriminator: `"span"` or `"event"`.
     pub kind: String,
@@ -36,8 +37,36 @@ pub struct EventRecord {
     pub start_us: u64,
     /// Wall-clock duration, microseconds; 0 for point events.
     pub dur_us: u64,
+    /// The request trace this record belongs to (32 hex digits), when it
+    /// was opened under a [`TraceContext`]. `None` for untraced spans.
+    pub trace: Option<String>,
     /// `key=value` annotations, in insertion order.
     pub fields: Vec<(String, String)>,
+}
+
+// Hand-written instead of derived: `trace` joined the schema after
+// JSONL exports shipped, so recordings written without it must still
+// load (missing → `None`). The derive would treat every key as required.
+impl Deserialize for EventRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::msg(format!("missing field `{name}`")))
+        };
+        Ok(EventRecord {
+            kind: Deserialize::from_value(required("kind")?)?,
+            id: Deserialize::from_value(required("id")?)?,
+            parent: Deserialize::from_value(required("parent")?)?,
+            name: Deserialize::from_value(required("name")?)?,
+            start_us: Deserialize::from_value(required("start_us")?)?,
+            dur_us: Deserialize::from_value(required("dur_us")?)?,
+            trace: match v.field("trace") {
+                None => None,
+                Some(t) => Deserialize::from_value(t)?,
+            },
+            fields: Deserialize::from_value(required("fields")?)?,
+        })
+    }
 }
 
 /// The recording half shared between a `Telemetry` handle and its spans.
@@ -58,8 +87,9 @@ impl Shared {
 }
 
 thread_local! {
-    /// Stack of open span ids on this thread (innermost last).
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Stack of open spans on this thread (innermost last): id plus the
+    /// trace it runs under, so nested spans inherit both.
+    static SPAN_STACK: RefCell<Vec<(u64, Option<TraceId>)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An RAII span. Created through `Telemetry::span` (recording) or
@@ -73,6 +103,7 @@ struct SpanInner {
     shared: Arc<Shared>,
     id: u64,
     parent: u64,
+    trace: Option<TraceId>,
     name: String,
     fields: Vec<(String, String)>,
 }
@@ -80,11 +111,11 @@ struct SpanInner {
 impl SpanGuard {
     pub(crate) fn recording(shared: Arc<Shared>, name: &str) -> SpanGuard {
         let id = shared.fresh_id();
-        let parent = SPAN_STACK.with(|s| {
+        let (parent, trace) = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let parent = s.last().copied().unwrap_or(0);
-            s.push(id);
-            parent
+            let (parent, trace) = s.last().copied().unwrap_or((0, None));
+            s.push((id, trace));
+            (parent, trace)
         });
         SpanGuard {
             started: Instant::now(),
@@ -92,10 +123,42 @@ impl SpanGuard {
                 shared,
                 id,
                 parent,
+                trace,
                 name: name.to_string(),
                 fields: Vec::new(),
             }),
         }
+    }
+
+    /// Like [`recording`](Self::recording), but parented explicitly under
+    /// `ctx` instead of the thread-local stack — the cross-thread handoff
+    /// primitive. The guard still pushes onto this thread's stack, so
+    /// spans nested inside it link up normally and inherit the trace.
+    pub(crate) fn recording_in(shared: Arc<Shared>, name: &str, ctx: &TraceContext) -> SpanGuard {
+        let id = shared.fresh_id();
+        SPAN_STACK.with(|s| s.borrow_mut().push((id, Some(ctx.trace))));
+        SpanGuard {
+            started: Instant::now(),
+            inner: Some(SpanInner {
+                shared,
+                id,
+                parent: ctx.span,
+                trace: Some(ctx.trace),
+                name: name.to_string(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// The context a downstream thread should open its spans in: this
+    /// span's trace with this span as the parent. `None` when the guard
+    /// is not recording or carries no trace.
+    pub fn context(&self) -> Option<TraceContext> {
+        let inner = self.inner.as_ref()?;
+        Some(TraceContext {
+            trace: inner.trace?,
+            span: inner.id,
+        })
     }
 
     /// A guard that measures time but records nothing — what the global
@@ -137,7 +200,7 @@ impl Drop for SpanGuard {
             // Guards are scope-bound so drops are LIFO in practice; the
             // position scan keeps a stray out-of-order drop from
             // corrupting ancestry.
-            if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+            if let Some(pos) = s.iter().rposition(|&(id, _)| id == inner.id) {
                 s.remove(pos);
             }
         });
@@ -148,6 +211,7 @@ impl Drop for SpanGuard {
             name: inner.name,
             start_us: inner.shared.micros_since_epoch(self.started),
             dur_us: self.started.elapsed().as_micros() as u64,
+            trace: inner.trace.map(|t| t.to_string()),
             fields: inner.fields,
         };
         // A send only fails when every receiver is gone, i.e. the
@@ -239,6 +303,57 @@ mod tests {
             records[0].fields,
             vec![("path".to_string(), "results/fig6.json".to_string())]
         );
+    }
+
+    #[test]
+    fn span_in_hands_a_trace_across_threads_and_nested_spans_inherit_it() {
+        use crate::trace::{TraceContext, TraceId};
+        let tel = Telemetry::new();
+        let trace = TraceId(0xaa, 0xbb);
+        let ctx = {
+            let parent = tel.span_in("gateway.request", &TraceContext::root(trace));
+            parent
+                .context()
+                .expect("recording traced span has a context")
+        };
+        assert_eq!(ctx.trace, trace);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _worker = tel.span_in("serve.process", &ctx);
+                let _nested = tel.span("detector.compute");
+            });
+        });
+        let records = tel.drain();
+        let by_name = |n: &str| records.iter().find(|r| r.name == n).unwrap().clone();
+        let parent = by_name("gateway.request");
+        let worker = by_name("serve.process");
+        let nested = by_name("detector.compute");
+        let hex = trace.to_string();
+        assert_eq!(parent.trace.as_deref(), Some(hex.as_str()));
+        assert_eq!(worker.trace.as_deref(), Some(hex.as_str()));
+        assert_eq!(
+            nested.trace.as_deref(),
+            Some(hex.as_str()),
+            "same-thread nesting inherits the trace"
+        );
+        assert_eq!(worker.parent, parent.id, "explicit cross-thread linkage");
+        assert_eq!(nested.parent, worker.id);
+    }
+
+    #[test]
+    fn untraced_spans_have_no_context_and_old_jsonl_still_decodes() {
+        let tel = Telemetry::new();
+        {
+            let s = tel.span("plain");
+            assert!(s.context().is_none(), "no trace → no handoff context");
+        }
+        let records = tel.drain();
+        assert_eq!(records[0].trace, None);
+        // A pre-trace JSONL line (no `trace` key) must still load.
+        let legacy = r#"{"kind":"span","id":3,"parent":0,"name":"old","start_us":5,"dur_us":9,"fields":[["k","v"]]}"#;
+        let back: EventRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.name, "old");
+        assert_eq!(back.trace, None);
     }
 
     #[test]
