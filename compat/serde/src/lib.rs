@@ -298,6 +298,21 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+// Shared slices serialize like the sequences they deref to (upstream
+// serde's `rc` feature). Hot-path packet payloads use `Arc<[T]>` so a
+// fan-out clone is a refcount bump, not an allocation.
+impl<T: Serialize> Serialize for std::sync::Arc<[T]> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

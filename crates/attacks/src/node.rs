@@ -176,7 +176,7 @@ impl AttackNode {
                 if !seen.insert(h.finish()) {
                     return;
                 }
-                let mut nodes = rreq.path.clone();
+                let mut nodes = rreq.path.to_vec();
                 let prev = rreq.last_hop();
                 nodes.push(me);
                 nodes.push(rreq.dst);

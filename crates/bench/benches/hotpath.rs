@@ -1,0 +1,106 @@
+//! Hot-path microbenches for the SoA overhaul (ROADMAP item 2): the
+//! event queue under churn (both backends), one full RREQ flood on the
+//! paper's 6×6 grid, and the `NormalProfile::train` tabulation that
+//! hammers the dense link counter.
+//!
+//! The `hotpath/` keys here mirror the `micro` map `reproduce --bench`
+//! writes into `BENCH_repro.json`, which `scripts/perf_gate.sh` gates
+//! against `.baseline/`; this bench is the interactive view of the same
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_routing::prelude::*;
+use manet_sim::event::{EventKind, EventQueue};
+use manet_sim::prelude::*;
+use manet_sim::time::SimTime;
+use sam::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Deterministic (time, key) workload shared by both queue backends: a
+/// sawtooth of bursts and drains that keeps a deep backlog, like a
+/// flood wavefront does.
+fn churn(queue: &mut EventQueue<u64>, ops: u64) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut popped = 0u64;
+    for step in 0..ops {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if x % 5 < 3 {
+            queue.schedule(
+                SimTime(x % 10_000),
+                EventKind::Timer {
+                    node: NodeId((x % 64) as u32),
+                    key: step,
+                },
+            );
+        } else if let Some(e) = queue.pop() {
+            popped = popped.wrapping_add(e.at.0).wrapping_add(e.seq);
+        }
+    }
+    while let Some(e) = queue.pop() {
+        popped = popped.wrapping_add(e.at.0).wrapping_add(e.seq);
+    }
+    popped
+}
+
+/// Normal-condition route sets for the tabulation bench: one flood's
+/// worth of routes per set, grid topology.
+fn training_sets(sets: usize) -> Vec<Vec<Route>> {
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    (0..sets)
+        .map(|run| run_discovery(&plan, ProtocolKind::Mr, src, dst, run as u64).routes)
+        .collect()
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    // Event-queue churn: SoA arena vs the reference BinaryHeap, same
+    // op stream.
+    const OPS: u64 = 100_000;
+    group.bench_with_input(BenchmarkId::new("queue_churn", "soa"), &OPS, |b, &ops| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            black_box(churn(&mut q, ops))
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("queue_churn", "reference"),
+        &OPS,
+        |b, &ops| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new_reference();
+                black_box(churn(&mut q, ops))
+            })
+        },
+    );
+
+    // One full MR flood on the 6×6 grid — the engine + routing hot loop
+    // end to end.
+    let plan = uniform_grid(6, 6, 1);
+    let src = plan.src_pool[0];
+    let dst = plan.dst_pool[0];
+    group.bench_function("flood_grid6x6", |b| {
+        b.iter(|| black_box(run_discovery(&plan, ProtocolKind::Mr, src, dst, 7)))
+    });
+
+    // NormalProfile::train over captured route sets — LinkStats
+    // tabulation (the dense LinkMap) dominates.
+    let sets = training_sets(30);
+    group.bench_function("profile_train", |b| {
+        b.iter(|| black_box(NormalProfile::train(&sets, 10)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! wormhole endpoint collects mass from every report regardless of which
 //! tied link a particular destination happened to pick.
 
+use crate::linkmap::LinkMap;
 use crate::procedure::AttackReport;
 use manet_sim::{Link, NodeId};
 use serde::{Deserialize, Serialize};
@@ -39,10 +40,13 @@ pub struct NodeVerdict {
     pub reports: usize,
 }
 
-/// Fusion centre for attack reports from many local agents.
+/// Fusion centre for attack reports from many local agents. Confidence
+/// mass accumulates in the same compact [`LinkMap`] the tabulation hot
+/// path uses; verdict extraction sorts, so the map's iteration order
+/// never shows.
 #[derive(Clone, Debug, Default)]
 pub struct GlobalCoordinator {
-    link_mass: HashMap<Link, (f64, usize)>,
+    link_mass: LinkMap<(f64, usize)>,
     ingested: usize,
 }
 
@@ -57,7 +61,7 @@ impl GlobalCoordinator {
     pub fn ingest(&mut self, report: &AttackReport) {
         let (a, b) = report.suspect_link;
         let weight = (1.0 - report.lambda).clamp(0.0, 1.0);
-        let entry = self.link_mass.entry(Link::new(a, b)).or_insert((0.0, 0));
+        let entry = self.link_mass.entry_or_default(Link::new(a, b));
         entry.0 += weight;
         entry.1 += 1;
         self.ingested += 1;
@@ -73,7 +77,7 @@ impl GlobalCoordinator {
         let mut v: Vec<LinkVerdict> = self
             .link_mass
             .iter()
-            .map(|(&l, &(confidence, reports))| LinkVerdict {
+            .map(|(l, (confidence, reports))| LinkVerdict {
                 link: l.endpoints(),
                 confidence,
                 reports,
@@ -93,7 +97,7 @@ impl GlobalCoordinator {
     /// endpoint seen from different destinations) rises to the top.
     pub fn node_verdicts(&self) -> Vec<NodeVerdict> {
         let mut per_node: HashMap<NodeId, (f64, usize)> = HashMap::new();
-        for (&link, &(confidence, reports)) in &self.link_mass {
+        for (link, (confidence, reports)) in self.link_mass.iter() {
             for n in [link.lo(), link.hi()] {
                 let e = per_node.entry(n).or_insert((0.0, 0));
                 e.0 += confidence;

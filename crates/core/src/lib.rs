@@ -62,6 +62,7 @@ pub mod detector;
 pub mod explain;
 pub mod hypothesis;
 pub mod ids;
+pub mod linkmap;
 pub mod pmf;
 pub mod procedure;
 pub mod profile;
@@ -74,13 +75,14 @@ pub mod prelude {
     pub use crate::explain::{Explanation, HopProvenance, RouteExplanation};
     pub use crate::hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
     pub use crate::ids::{AgentAction, AgentConfig, AgentPhase, IdsAgent, ResponseMsg};
+    pub use crate::linkmap::LinkMap;
     pub use crate::pmf::{Pmf, PmfProfile, PmfVerdict};
     pub use crate::procedure::{
         all_ack_transport, blackhole_transport, AttackReport, DetectionOutcome, ProbeTransport,
         Procedure, ProcedureConfig,
     };
     pub use crate::profile::{forgetting_update, FeatureStat, NormalProfile, STD_FLOOR};
-    pub use crate::stats::{common_endpoints, LinkStats, RouteSetFeatures};
+    pub use crate::stats::{common_endpoints, LinkStats, RefLinkStats, RouteSetFeatures};
 }
 
 pub use prelude::*;

@@ -14,6 +14,7 @@
 //! `p_max` and `Δ` jump; the attackers are the endpoints of the
 //! most-frequent link.
 
+use crate::linkmap::LinkMap;
 use manet_routing::Route;
 use manet_sim::{Link, NodeId};
 use serde::{Deserialize, Serialize};
@@ -35,9 +36,14 @@ pub fn common_endpoints(routes: &[Route]) -> (Option<NodeId>, Option<NodeId>) {
 }
 
 /// Link-frequency table of one route set.
+///
+/// Tabulation runs on the compact [`LinkMap`] (packed `u32` endpoint
+/// ids, open addressing) rather than `HashMap<Link, u32>`; the
+/// pre-overhaul implementation survives as [`RefLinkStats`] and the
+/// differential harness asserts the two produce identical tables.
 #[derive(Clone, Debug, Default)]
 pub struct LinkStats {
-    counts: HashMap<Link, u32>,
+    counts: LinkMap<u32>,
     total: u64,
     routes: usize,
 }
@@ -45,11 +51,11 @@ pub struct LinkStats {
 impl LinkStats {
     /// Tally all links of `routes`.
     pub fn from_routes(routes: &[Route]) -> Self {
-        let mut counts: HashMap<Link, u32> = HashMap::new();
+        let mut counts: LinkMap<u32> = LinkMap::new();
         let mut total = 0u64;
         for route in routes {
             for link in route.links() {
-                *counts.entry(link).or_insert(0) += 1;
+                *counts.entry_or_default(link) += 1;
                 total += 1;
             }
         }
@@ -77,7 +83,7 @@ impl LinkStats {
 
     /// Occurrence count of one link (`n_i`).
     pub fn count(&self, link: Link) -> u32 {
-        self.counts.get(&link).copied().unwrap_or(0)
+        self.counts.get(link).unwrap_or(0)
     }
 
     /// Relative frequency of one link (`p_i`, eq. 1).
@@ -90,7 +96,7 @@ impl LinkStats {
 
     /// All `(link, n_i)` pairs, unordered.
     pub fn counts(&self) -> impl Iterator<Item = (Link, u32)> + '_ {
-        self.counts.iter().map(|(&l, &c)| (l, c))
+        self.counts.iter()
     }
 
     /// All relative frequencies `n_i / N`, unordered — the samples whose
@@ -100,7 +106,7 @@ impl LinkStats {
             return Vec::new();
         }
         let n = self.total as f64;
-        self.counts.values().map(|&c| f64::from(c) / n).collect()
+        self.counts.values().map(|c| f64::from(c) / n).collect()
     }
 
     /// The two largest counts `(n_max, n_2nd)`; zero-filled when there are
@@ -108,7 +114,7 @@ impl LinkStats {
     pub fn top_two(&self) -> (u32, u32) {
         let mut best = 0u32;
         let mut second = 0u32;
-        for &c in self.counts.values() {
+        for c in self.counts.values() {
             if c > best {
                 second = best;
                 best = c;
@@ -147,7 +153,7 @@ impl LinkStats {
         self.counts
             .iter()
             .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then_with(|| lb.cmp(la)))
-            .map(|(&l, _)| l)
+            .map(|(l, _)| l)
     }
 
     /// Like [`LinkStats::suspect_link`], but prefer links **not incident
@@ -163,7 +169,7 @@ impl LinkStats {
             .iter()
             .filter(|(l, _)| !exclude.iter().any(|&n| l.touches(n)))
             .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then_with(|| lb.cmp(la)))
-            .map(|(&l, _)| l)
+            .map(|(l, _)| l)
             .or_else(|| self.suspect_link())
     }
 
@@ -178,7 +184,6 @@ impl LinkStats {
             .counts
             .iter()
             .filter(|(l, _)| !exclude.iter().any(|&n| l.touches(n)))
-            .map(|(&l, &c)| (l, c))
             .collect();
         let max = candidates.iter().map(|&(_, c)| c).max().unwrap_or(0);
         if max == 0 {
@@ -218,6 +223,103 @@ impl LinkStats {
             mean_hops: self.mean_hops(),
             suspect_link: self.suspect_link().map(|l| (l.lo().0, l.hi().0)),
         }
+    }
+}
+
+/// The pre-overhaul link-frequency table: the exact `HashMap<Link, u32>`
+/// tabulation [`LinkStats`] used before the [`LinkMap`] rewrite,
+/// preserved as the reference path for the differential harness
+/// (`tests/differential_hotpath.rs`). Only the feature surface the
+/// harness compares is exposed.
+#[derive(Clone, Debug, Default)]
+pub struct RefLinkStats {
+    counts: HashMap<Link, u32>,
+    total: u64,
+    routes: usize,
+}
+
+impl RefLinkStats {
+    /// Tally all links of `routes` (pre-overhaul implementation).
+    pub fn from_routes(routes: &[Route]) -> Self {
+        let mut counts: HashMap<Link, u32> = HashMap::new();
+        let mut total = 0u64;
+        for route in routes {
+            for link in route.links() {
+                *counts.entry(link).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        RefLinkStats {
+            counts,
+            total,
+            routes: routes.len(),
+        }
+    }
+
+    /// Number of distinct links (`|L|`).
+    pub fn distinct_links(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total non-distinct link count (`N`).
+    pub fn total_links(&self) -> u64 {
+        self.total
+    }
+
+    /// Occurrence count of one link (`n_i`).
+    pub fn count(&self, link: Link) -> u32 {
+        self.counts.get(&link).copied().unwrap_or(0)
+    }
+
+    /// All `(link, n_i)` pairs, unordered.
+    pub fn counts(&self) -> impl Iterator<Item = (Link, u32)> + '_ {
+        self.counts.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// The two largest counts `(n_max, n_2nd)`.
+    pub fn top_two(&self) -> (u32, u32) {
+        let mut best = 0u32;
+        let mut second = 0u32;
+        for &c in self.counts.values() {
+            if c > best {
+                second = best;
+                best = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        (best, second)
+    }
+
+    /// `p_max` (eq. 3).
+    pub fn p_max(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        f64::from(self.top_two().0) / self.total as f64
+    }
+
+    /// `Δ` (eq. 7).
+    pub fn delta(&self) -> f64 {
+        let (nmax, n2nd) = self.top_two();
+        if nmax == 0 {
+            return 0.0;
+        }
+        f64::from(nmax - n2nd) / f64::from(nmax)
+    }
+
+    /// The most frequent link, same deterministic tie-break as
+    /// [`LinkStats::suspect_link`].
+    pub fn suspect_link(&self) -> Option<Link> {
+        self.counts
+            .iter()
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then_with(|| lb.cmp(la)))
+            .map(|(&l, _)| l)
+    }
+
+    /// Number of routes tallied.
+    pub fn route_count(&self) -> usize {
+        self.routes
     }
 }
 
@@ -361,6 +463,52 @@ mod tests {
             Some(Link::new(NodeId(0), NodeId(9))),
             "fallback to global mode"
         );
+    }
+
+    #[test]
+    fn dense_and_reference_tables_agree() {
+        // Pseudo-random route sets: the LinkMap-backed table and the
+        // preserved HashMap implementation must agree on every feature
+        // and on the full (link, count) table.
+        let mut state = 0xA5A5A5A5DEADBEEFu64;
+        let mut next = move |bound: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        for _ in 0..50 {
+            let n_routes = 1 + next(12) as usize;
+            let mut routes = Vec::new();
+            for _ in 0..n_routes {
+                // Loop-free path over a small id space.
+                let mut path: Vec<NodeId> = Vec::new();
+                let len = 2 + next(6);
+                for _ in 0..len {
+                    let id = NodeId(next(30));
+                    if !path.contains(&id) {
+                        path.push(id);
+                    }
+                }
+                if path.len() >= 2 {
+                    routes.push(Route::new(path).unwrap());
+                }
+            }
+            let dense = LinkStats::from_routes(&routes);
+            let reference = RefLinkStats::from_routes(&routes);
+            assert_eq!(dense.route_count(), reference.route_count());
+            assert_eq!(dense.distinct_links(), reference.distinct_links());
+            assert_eq!(dense.total_links(), reference.total_links());
+            assert_eq!(dense.top_two(), reference.top_two());
+            assert_eq!(dense.p_max(), reference.p_max());
+            assert_eq!(dense.delta(), reference.delta());
+            assert_eq!(dense.suspect_link(), reference.suspect_link());
+            let mut a: Vec<(Link, u32)> = dense.counts().collect();
+            let mut b: Vec<(Link, u32)> = reference.counts().collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -309,8 +309,11 @@ fn main() -> ExitCode {
             }
         }
         if let Some(path) = &args.bench {
-            let report =
-                BenchReport::new("reproduce", started.elapsed().as_secs_f64(), tel.snapshot());
+            // Capture the end-to-end wall time *before* the microbench
+            // pass so the two measurements stay independent.
+            let wall_s = started.elapsed().as_secs_f64();
+            let report = BenchReport::new("reproduce", wall_s, tel.snapshot())
+                .with_micro(sam_experiments::microbench::measure());
             match std::fs::write(path, report.to_json()) {
                 Ok(()) => println!("[bench: {:.1}s -> {}]", report.wall_s, path.display()),
                 Err(e) => {

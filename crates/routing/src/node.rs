@@ -44,6 +44,11 @@ pub struct RouterConfig {
     /// How many (maximally disjoint) routes a multipath destination
     /// returns to the source via RREP.
     pub rrep_routes: usize,
+    /// Use the reference (pre-overhaul `HashMap`/`HashSet`) stores in
+    /// [`ForwardPolicy`] and [`DestinationAccept`] instead of the scratch
+    /// stores. Slower; exists for the differential harness
+    /// (`tests/differential_hotpath.rs`).
+    pub reference_stores: bool,
 }
 
 impl RouterConfig {
@@ -54,7 +59,14 @@ impl RouterConfig {
             collection_window: SimDuration::from_millis(200),
             max_forwards: 64,
             rrep_routes: 3,
+            reference_stores: false,
         }
+    }
+
+    /// Builder-style switch to the reference policy stores.
+    pub fn with_reference_stores(mut self) -> Self {
+        self.reference_stores = true;
+        self
     }
 }
 
@@ -145,12 +157,17 @@ pub struct RouterNode {
 impl RouterNode {
     /// A router for node `id` with the given configuration.
     pub fn new(id: NodeId, cfg: RouterConfig) -> Self {
-        let policy = ForwardPolicy::with_max_forwards(cfg.protocol, cfg.max_forwards);
+        let mut policy = ForwardPolicy::with_max_forwards(cfg.protocol, cfg.max_forwards);
+        let mut dest_accept = DestinationAccept::default();
+        if cfg.reference_stores {
+            policy.use_reference_store();
+            dest_accept.use_reference_store();
+        }
         RouterNode {
             id,
             cfg,
             policy,
-            dest_accept: DestinationAccept::default(),
+            dest_accept,
             next_seq: 0,
             pending_discoveries: VecDeque::new(),
             source_routes: Vec::new(),
@@ -270,7 +287,7 @@ impl RouterNode {
             if !self.dest_accept.accept(self.cfg.protocol, &rreq) {
                 return RreqAction::RejectedAtDestination;
             }
-            let mut nodes = rreq.path.clone();
+            let mut nodes = rreq.path.to_vec();
             nodes.push(self.id);
             let route = match Route::new(nodes) {
                 Ok(r) => r,
@@ -409,7 +426,7 @@ impl RouterNode {
                     let rreq = Rreq {
                         id: RreqId { src: self.id, seq },
                         dst,
-                        path: vec![self.id],
+                        path: vec![self.id].into(),
                     };
                     ctx.broadcast_scaled(RoutingMsg::Rreq(rreq), self.latency_scale);
                 }

@@ -3,6 +3,7 @@
 use crate::route::Route;
 use manet_sim::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Globally unique identifier of one route discovery: the originator plus
 /// its per-source sequence number (exactly DSR/AODV's RREQ id).
@@ -19,6 +20,12 @@ pub struct RreqId {
 /// `path` accumulates the nodes traversed so far, starting with the source
 /// itself; a node appends itself before rebroadcasting. The hop count the
 /// protocols compare is therefore `path.len() − 1` at reception.
+///
+/// The path is a shared slice: a broadcast fans one RREQ copy out to
+/// every neighbour, and with `Arc<[NodeId]>` each of those per-neighbour
+/// clones is a refcount bump instead of a fresh allocation — the single
+/// hottest allocation site in a flood. Only [`Rreq::extended`] (once per
+/// forward, not once per delivery) builds a new path.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Rreq {
     /// Discovery id.
@@ -26,7 +33,7 @@ pub struct Rreq {
     /// The node being searched for.
     pub dst: NodeId,
     /// Accumulated path, source first.
-    pub path: Vec<NodeId>,
+    pub path: Arc<[NodeId]>,
 }
 
 impl Rreq {
@@ -48,7 +55,7 @@ impl Rreq {
         Rreq {
             id: self.id,
             dst: self.dst,
-            path,
+            path: path.into(),
         }
     }
 }
@@ -122,16 +129,16 @@ mod tests {
                 seq: 1,
             },
             dst: NodeId(9),
-            path: vec![NodeId(0)],
+            path: vec![NodeId(0)].into(),
         };
         assert_eq!(q.hops(), 0);
         assert_eq!(q.last_hop(), NodeId(0));
         let q2 = q.extended(NodeId(4));
         assert_eq!(q2.hops(), 1);
         assert_eq!(q2.last_hop(), NodeId(4));
-        assert_eq!(q2.path, vec![NodeId(0), NodeId(4)]);
+        assert_eq!(&q2.path[..], [NodeId(0), NodeId(4)]);
         // The original is untouched.
-        assert_eq!(q.path, vec![NodeId(0)]);
+        assert_eq!(&q.path[..], [NodeId(0)]);
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
-/// Per-discovery bookkeeping at one intermediate node.
+/// Per-discovery bookkeeping at one intermediate node (reference store).
 #[derive(Clone, Debug, Default)]
 struct SeenState {
     /// Hop count of the first copy received.
@@ -73,6 +73,73 @@ struct SeenState {
     forwarded_prevs: HashSet<NodeId>,
     /// Total copies forwarded (MR safety cap).
     forwarded: u32,
+}
+
+/// Per-discovery bookkeeping in the scratch store: `forwarded_prevs`
+/// lives as a `(start, len)` range in the shared prev arena instead of a
+/// per-entry `HashSet`.
+#[derive(Clone, Copy, Debug)]
+struct FastSeenState {
+    first_hops: usize,
+    first_prev: Option<NodeId>,
+    prev_start: u32,
+    prev_len: u32,
+    forwarded: u32,
+}
+
+/// Scratch-region store for per-discovery state: a flat entry list
+/// (scanned backwards — an arriving copy almost always belongs to the
+/// most recent discovery) plus one bump-allocated arena shared by every
+/// entry's forwarded-incoming-link set. Nothing is freed per RREQ; the
+/// whole region resets in O(1) between experiments. The incoming-link
+/// sets are tiny (bounded by `max_forwards`, typically 1–3), so linear
+/// membership scans beat per-copy hashing.
+#[derive(Clone, Debug, Default)]
+struct FastSeen {
+    entries: Vec<(RreqId, FastSeenState)>,
+    prevs: Vec<NodeId>,
+}
+
+impl FastSeen {
+    /// Index of the entry for `id`, scanning most-recent-first.
+    fn find(&self, id: RreqId) -> Option<usize> {
+        self.entries.iter().rposition(|&(e, _)| e == id)
+    }
+
+    fn prevs_of(&self, st: FastSeenState) -> &[NodeId] {
+        &self.prevs[st.prev_start as usize..(st.prev_start + st.prev_len) as usize]
+    }
+
+    /// Append `prev` to the entry's incoming-link range. If another
+    /// discovery bumped the arena past this entry's range, the range is
+    /// first relocated to the tail (rare: discoveries seldom interleave
+    /// at one node, and the ranges are tiny).
+    fn push_prev(&mut self, idx: usize, prev: NodeId) {
+        let st = &mut self.entries[idx].1;
+        let end = (st.prev_start + st.prev_len) as usize;
+        if end != self.prevs.len() {
+            let start = st.prev_start as usize;
+            st.prev_start = self.prevs.len() as u32;
+            self.prevs.extend_from_within(start..end);
+        }
+        self.prevs.push(prev);
+        st.prev_len += 1;
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.prevs.clear();
+    }
+}
+
+/// The per-`RreqId` state store behind [`ForwardPolicy`]: the scratch
+/// store is the default; the pre-overhaul `HashMap`/`HashSet`
+/// implementation is preserved verbatim as the reference path for the
+/// differential harness (`tests/differential_hotpath.rs`).
+#[derive(Clone, Debug)]
+enum SeenStore {
+    Fast(FastSeen),
+    Reference(HashMap<RreqId, SeenState>),
 }
 
 /// Decides, per arriving RREQ copy, whether this node rebroadcasts it.
@@ -87,7 +154,7 @@ pub struct ForwardPolicy {
     /// exists only to keep adversarially dense inputs finite; the
     /// `ablation_window` bench quantifies its (non-)effect.
     max_forwards: u32,
-    seen: HashMap<RreqId, SeenState>,
+    seen: SeenStore,
 }
 
 /// The decision for one arriving copy.
@@ -102,11 +169,7 @@ pub enum ForwardDecision {
 impl ForwardPolicy {
     /// Policy for `kind` with the default duplicate cap.
     pub fn new(kind: ProtocolKind) -> Self {
-        ForwardPolicy {
-            kind,
-            max_forwards: 64,
-            seen: HashMap::new(),
-        }
+        Self::with_max_forwards(kind, 64)
     }
 
     /// Override the per-discovery forward cap.
@@ -114,8 +177,20 @@ impl ForwardPolicy {
         ForwardPolicy {
             kind,
             max_forwards: cap.max(1),
-            seen: HashMap::new(),
+            seen: SeenStore::Fast(FastSeen::default()),
         }
+    }
+
+    /// Switch to the reference `HashMap`/`HashSet` store (pre-overhaul
+    /// implementation, kept for the differential harness). Call before
+    /// any copy is decided; existing state is discarded.
+    pub fn use_reference_store(&mut self) {
+        self.seen = SeenStore::Reference(HashMap::new());
+    }
+
+    /// Whether the reference store is active.
+    pub fn uses_reference_store(&self) -> bool {
+        matches!(self.seen, SeenStore::Reference(_))
     }
 
     /// The protocol this policy implements.
@@ -132,52 +207,101 @@ impl ForwardPolicy {
         }
         let hops = rreq.hops();
         let prev = rreq.last_hop();
-        match self.seen.entry(rreq.id) {
-            Entry::Vacant(e) => {
-                // First copy: every protocol forwards it.
-                let mut st = SeenState {
-                    first_hops: hops,
-                    first_prev: Some(prev),
-                    ..SeenState::default()
-                };
-                st.forwarded = 1;
-                st.forwarded_prevs.insert(prev);
-                e.insert(st);
-                ForwardDecision::Forward
-            }
-            Entry::Occupied(mut e) => {
-                let st = e.get_mut();
-                if st.forwarded >= self.max_forwards {
-                    return ForwardDecision::Drop;
-                }
-                let ok = match self.kind {
-                    // Duplicates never re-flooded.
-                    ProtocolKind::Dsr | ProtocolKind::Aomdv => false,
-                    // Paper's MR: hop bound only.
-                    ProtocolKind::Mr => hops <= st.first_hops,
-                    // SMR: hop bound + different incoming link, at most
-                    // one forward per incoming link.
-                    ProtocolKind::Smr => {
-                        hops <= st.first_hops
-                            && st.first_prev != Some(prev)
-                            && !st.forwarded_prevs.contains(&prev)
-                    }
-                };
-                if ok {
-                    st.forwarded += 1;
-                    st.forwarded_prevs.insert(prev);
+        match &mut self.seen {
+            SeenStore::Fast(fast) => match fast.find(rreq.id) {
+                None => {
+                    // First copy: every protocol forwards it.
+                    let start = fast.prevs.len() as u32;
+                    fast.prevs.push(prev);
+                    fast.entries.push((
+                        rreq.id,
+                        FastSeenState {
+                            first_hops: hops,
+                            first_prev: Some(prev),
+                            prev_start: start,
+                            prev_len: 1,
+                            forwarded: 1,
+                        },
+                    ));
                     ForwardDecision::Forward
-                } else {
-                    ForwardDecision::Drop
                 }
-            }
+                Some(idx) => {
+                    let st = fast.entries[idx].1;
+                    if st.forwarded >= self.max_forwards {
+                        return ForwardDecision::Drop;
+                    }
+                    let ok = match self.kind {
+                        // Duplicates never re-flooded.
+                        ProtocolKind::Dsr | ProtocolKind::Aomdv => false,
+                        // Paper's MR: hop bound only.
+                        ProtocolKind::Mr => hops <= st.first_hops,
+                        // SMR: hop bound + different incoming link, at
+                        // most one forward per incoming link.
+                        ProtocolKind::Smr => {
+                            hops <= st.first_hops
+                                && st.first_prev != Some(prev)
+                                && !fast.prevs_of(st).contains(&prev)
+                        }
+                    };
+                    if ok {
+                        fast.entries[idx].1.forwarded += 1;
+                        fast.push_prev(idx, prev);
+                        ForwardDecision::Forward
+                    } else {
+                        ForwardDecision::Drop
+                    }
+                }
+            },
+            SeenStore::Reference(seen) => match seen.entry(rreq.id) {
+                Entry::Vacant(e) => {
+                    // First copy: every protocol forwards it.
+                    let mut st = SeenState {
+                        first_hops: hops,
+                        first_prev: Some(prev),
+                        ..SeenState::default()
+                    };
+                    st.forwarded = 1;
+                    st.forwarded_prevs.insert(prev);
+                    e.insert(st);
+                    ForwardDecision::Forward
+                }
+                Entry::Occupied(mut e) => {
+                    let st = e.get_mut();
+                    if st.forwarded >= self.max_forwards {
+                        return ForwardDecision::Drop;
+                    }
+                    let ok = match self.kind {
+                        // Duplicates never re-flooded.
+                        ProtocolKind::Dsr | ProtocolKind::Aomdv => false,
+                        // Paper's MR: hop bound only.
+                        ProtocolKind::Mr => hops <= st.first_hops,
+                        // SMR: hop bound + different incoming link, at
+                        // most one forward per incoming link.
+                        ProtocolKind::Smr => {
+                            hops <= st.first_hops
+                                && st.first_prev != Some(prev)
+                                && !st.forwarded_prevs.contains(&prev)
+                        }
+                    };
+                    if ok {
+                        st.forwarded += 1;
+                        st.forwarded_prevs.insert(prev);
+                        ForwardDecision::Forward
+                    } else {
+                        ForwardDecision::Drop
+                    }
+                }
+            },
         }
     }
 
     /// Forget all per-discovery state (e.g. between experiments reusing
-    /// behaviours).
+    /// behaviours). O(1) for the scratch store: the region is reused.
     pub fn reset(&mut self) {
-        self.seen.clear();
+        match &mut self.seen {
+            SeenStore::Fast(fast) => fast.clear(),
+            SeenStore::Reference(seen) => seen.clear(),
+        }
     }
 }
 
@@ -188,27 +312,83 @@ impl ForwardPolicy {
 /// a different neighbour because duplicates are not re-flooded); an
 /// AOMDV-flavoured destination accepts at most one copy per distinct last
 /// hop, mirroring its "alternate path per distinct neighbour" rule.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DestinationAccept {
-    per_prev: HashMap<RreqId, HashSet<NodeId>>,
+    per_prev: AcceptStore,
+}
+
+/// Store behind [`DestinationAccept`]: same fast/reference split as
+/// [`ForwardPolicy`]'s `SeenStore`. The fast path reuses the scratch
+/// layout — entry list scanned most-recent-first, last-hop sets as
+/// ranges in a shared arena.
+#[derive(Clone, Debug)]
+enum AcceptStore {
+    Fast(FastSeen),
+    Reference(HashMap<RreqId, HashSet<NodeId>>),
+}
+
+impl Default for DestinationAccept {
+    fn default() -> Self {
+        DestinationAccept {
+            per_prev: AcceptStore::Fast(FastSeen::default()),
+        }
+    }
 }
 
 impl DestinationAccept {
+    /// Switch to the reference `HashMap` store (pre-overhaul
+    /// implementation, kept for the differential harness).
+    pub fn use_reference_store(&mut self) {
+        self.per_prev = AcceptStore::Reference(HashMap::new());
+    }
+
     /// Whether the destination should record this copy as a route.
     pub fn accept(&mut self, kind: ProtocolKind, rreq: &Rreq) -> bool {
         match kind {
             ProtocolKind::Dsr | ProtocolKind::Mr | ProtocolKind::Smr => true,
-            ProtocolKind::Aomdv => self
-                .per_prev
-                .entry(rreq.id)
-                .or_default()
-                .insert(rreq.last_hop()),
+            ProtocolKind::Aomdv => {
+                let prev = rreq.last_hop();
+                match &mut self.per_prev {
+                    AcceptStore::Fast(fast) => match fast.find(rreq.id) {
+                        None => {
+                            let start = fast.prevs.len() as u32;
+                            fast.prevs.push(prev);
+                            fast.entries.push((
+                                rreq.id,
+                                FastSeenState {
+                                    first_hops: 0,
+                                    first_prev: None,
+                                    prev_start: start,
+                                    prev_len: 1,
+                                    forwarded: 0,
+                                },
+                            ));
+                            true
+                        }
+                        Some(idx) => {
+                            let st = fast.entries[idx].1;
+                            if fast.prevs_of(st).contains(&prev) {
+                                false
+                            } else {
+                                fast.push_prev(idx, prev);
+                                true
+                            }
+                        }
+                    },
+                    AcceptStore::Reference(per_prev) => {
+                        per_prev.entry(rreq.id).or_default().insert(prev)
+                    }
+                }
+            }
         }
     }
 
     /// Forget all state.
     pub fn reset(&mut self) {
-        self.per_prev.clear();
+        match &mut self.per_prev {
+            AcceptStore::Fast(fast) => fast.clear(),
+            AcceptStore::Reference(per_prev) => per_prev.clear(),
+        }
     }
 }
 
@@ -329,6 +509,74 @@ mod tests {
         assert!(d.accept(ProtocolKind::Mr, &rreq(1, &[0, 2, 5])));
         d.reset();
         assert!(d.accept(ProtocolKind::Aomdv, &rreq(1, &[0, 2, 5])));
+    }
+
+    #[test]
+    fn fast_and_reference_stores_agree_on_random_arrivals() {
+        // LCG-driven arrival streams (interleaved discoveries, repeated
+        // incoming links, varying hop counts) must produce identical
+        // decision sequences from both stores, for every protocol.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |bound: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        for kind in [
+            ProtocolKind::Dsr,
+            ProtocolKind::Mr,
+            ProtocolKind::Smr,
+            ProtocolKind::Aomdv,
+        ] {
+            let mut fast = ForwardPolicy::with_max_forwards(kind, 4);
+            let mut reference = ForwardPolicy::with_max_forwards(kind, 4);
+            reference.use_reference_store();
+            assert!(reference.uses_reference_store() && !fast.uses_reference_store());
+            let mut fast_dest = DestinationAccept::default();
+            let mut ref_dest = DestinationAccept::default();
+            ref_dest.use_reference_store();
+            for _ in 0..2000 {
+                // Up to 4 interleaved discoveries, paths over a tiny id
+                // space so duplicates and loops actually occur.
+                let seq = next(4);
+                let len = 1 + next(4) as usize;
+                let path: Vec<u32> = (0..len).map(|_| next(8)).collect();
+                let r = rreq(seq, &path);
+                assert_eq!(
+                    fast.decide(ME, &r),
+                    reference.decide(ME, &r),
+                    "{kind} {r:?}"
+                );
+                assert_eq!(
+                    fast_dest.accept(kind, &r),
+                    ref_dest.accept(kind, &r),
+                    "{kind} {r:?}"
+                );
+            }
+            fast.reset();
+            reference.reset();
+            let r = rreq(0, &[0, 1]);
+            assert_eq!(fast.decide(ME, &r), reference.decide(ME, &r));
+        }
+    }
+
+    #[test]
+    fn scratch_arena_relocates_ranges_across_interleaved_discoveries() {
+        // SMR with two interleaved discoveries: appends to discovery 1's
+        // incoming-link range after discovery 2 bumped the arena force
+        // the relocate-on-append path.
+        let mut p = ForwardPolicy::new(ProtocolKind::Smr);
+        assert_eq!(p.decide(ME, &rreq(1, &[0, 1])), ForwardDecision::Forward);
+        assert_eq!(p.decide(ME, &rreq(2, &[0, 5])), ForwardDecision::Forward);
+        // Discovery 1, new link: its range (not at the arena tail) moves.
+        assert_eq!(p.decide(ME, &rreq(1, &[0, 2])), ForwardDecision::Forward);
+        // Both used links of discovery 1 still count as used.
+        assert_eq!(p.decide(ME, &rreq(1, &[0, 1])), ForwardDecision::Drop);
+        assert_eq!(p.decide(ME, &rreq(1, &[0, 2])), ForwardDecision::Drop);
+        // Discovery 2's range survived the relocation.
+        assert_eq!(p.decide(ME, &rreq(2, &[0, 5])), ForwardDecision::Drop);
+        assert_eq!(p.decide(ME, &rreq(2, &[0, 6])), ForwardDecision::Forward);
     }
 
     #[test]

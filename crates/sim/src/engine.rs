@@ -201,6 +201,29 @@ impl<M: Clone + Debug> Network<M> {
         }
     }
 
+    /// Swap in the reference `BinaryHeap` event-queue backend — the
+    /// pre-overhaul implementation preserved for the differential
+    /// harness (`tests/differential_hotpath.rs`). Since sequence numbers
+    /// are allocated identically by both backends, a run on the
+    /// reference queue must be byte-identical to the default SoA run.
+    ///
+    /// # Panics
+    /// If anything has already been scheduled: switching backends
+    /// mid-run would desynchronize sequence numbering.
+    pub fn use_reference_queue(&mut self) {
+        assert!(
+            self.queue.is_empty() && self.queue.scheduled_total() == 0,
+            "switch queue backends before scheduling any event"
+        );
+        self.queue = EventQueue::new_reference();
+    }
+
+    /// Whether the reference (pre-overhaul `BinaryHeap`) queue backend is
+    /// active.
+    pub fn uses_reference_queue(&self) -> bool {
+        self.queue.is_reference()
+    }
+
     /// Override the telemetry context (`None` disables recording). The
     /// default is whatever [`sam_telemetry::global`] held when this
     /// network was built.
@@ -284,39 +307,19 @@ impl<M: Clone + Debug> Network<M> {
         to: NodeId,
         channel: Channel,
     ) -> Option<(SimDuration, Option<SimDuration>)> {
-        let Some(hook) = self.faults.as_mut() else {
-            return Some((SimDuration::ZERO, None));
-        };
-        let v = hook.on_delivery(&self.topology, self.now, from, to, channel, &mut self.rng);
-        if v.drop {
-            self.record_fault(to, FaultKind::Dropped { from });
-            self.fault_stats.dropped += 1;
-            return None;
-        }
-        if v.duplicate.is_some() {
-            self.record_fault(to, FaultKind::Duplicated { from });
-            self.fault_stats.duplicated += 1;
-        }
-        if v.delay > SimDuration::ZERO {
-            self.fault_stats.delayed += 1;
-        }
-        Some((v.delay, v.duplicate))
-    }
-
-    /// Record a per-delivery fault consequence in the trace, under a
-    /// freshly allocated lineage id (the id the affected delivery would
-    /// have used) and the current dispatch cause.
-    fn record_fault(&mut self, node: NodeId, kind: FaultKind) {
-        let id = self.queue.alloc_seq();
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEntry {
-                id,
-                cause: self.current_cause,
-                at: self.now,
-                node,
-                kind: TraceKind::Fault { kind },
-            });
-        }
+        consult_faults_split(
+            &mut self.faults,
+            &self.topology,
+            self.now,
+            from,
+            to,
+            channel,
+            &mut self.rng,
+            &mut self.queue,
+            &mut self.trace,
+            &mut self.fault_stats,
+            self.current_cause,
+        )
     }
 
     /// Sample one loss decision.
@@ -578,6 +581,66 @@ impl<M: Clone + Debug> Network<M> {
     }
 }
 
+/// Field-wise core of `Network::consult_faults`, callable while the
+/// topology's CSR neighbour slices are simultaneously borrowed — the
+/// allocation-free broadcast fast path needs disjoint field borrows that
+/// a `&mut self` method cannot express.
+#[allow(clippy::too_many_arguments)]
+fn consult_faults_split<M>(
+    faults: &mut Option<Box<dyn FaultHook>>,
+    topology: &Topology,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    channel: Channel,
+    rng: &mut StdRng,
+    queue: &mut EventQueue<M>,
+    trace: &mut Option<Trace>,
+    fault_stats: &mut FaultStats,
+    cause: Option<u64>,
+) -> Option<(SimDuration, Option<SimDuration>)> {
+    let Some(hook) = faults.as_mut() else {
+        return Some((SimDuration::ZERO, None));
+    };
+    let v = hook.on_delivery(topology, now, from, to, channel, rng);
+    if v.drop {
+        record_fault_split(queue, trace, cause, now, to, FaultKind::Dropped { from });
+        fault_stats.dropped += 1;
+        return None;
+    }
+    if v.duplicate.is_some() {
+        record_fault_split(queue, trace, cause, now, to, FaultKind::Duplicated { from });
+        fault_stats.duplicated += 1;
+    }
+    if v.delay > SimDuration::ZERO {
+        fault_stats.delayed += 1;
+    }
+    Some((v.delay, v.duplicate))
+}
+
+/// Record a per-delivery fault consequence in the trace, under a freshly
+/// allocated lineage id (the id the affected delivery would have used)
+/// and the dispatch cause in effect.
+fn record_fault_split<M>(
+    queue: &mut EventQueue<M>,
+    trace: &mut Option<Trace>,
+    cause: Option<u64>,
+    now: SimTime,
+    node: NodeId,
+    kind: FaultKind,
+) {
+    let id = queue.alloc_seq();
+    if let Some(trace) = trace {
+        trace.record(TraceEntry {
+            id,
+            cause,
+            at: now,
+            node,
+            kind: TraceKind::Fault { kind },
+        });
+    }
+}
+
 /// The capabilities handed to a behaviour while it handles an event.
 pub struct Ctx<'a, M> {
     net: &'a mut Network<M>,
@@ -637,32 +700,58 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
     /// slow or congested node.
     pub fn broadcast_scaled(&mut self, msg: M, scale: f64) {
         assert!(scale > 0.0 && scale.is_finite(), "latency scale {scale}");
-        self.net.metrics.node_mut(self.node).tx += 1;
         let node = self.node;
-        let pos = self.net.topology.position(node);
-        // Collect to end the immutable borrow of topology before mutating
-        // the queue.
-        let deliveries: Vec<(NodeId, f64)> = self
-            .net
-            .topology
-            .neighbors(node)
-            .iter()
-            .map(|&v| (v, pos.dist(self.net.topology.position(v))))
-            .collect();
-        for (v, dist) in deliveries {
-            let lat = self
-                .net
-                .latency
-                .sample(dist, &mut self.net.rng)
-                .mul_f64(scale);
-            if self.net.lost() {
+        let net = &mut *self.net;
+        net.metrics.node_mut(node).tx += 1;
+        // Disjoint field borrows: the CSR neighbour/distance slices stay
+        // borrowed from the topology while the queue, RNG, and trace are
+        // mutated, so the per-broadcast `Vec<(NodeId, f64)>` the old code
+        // collected (to end the topology borrow) is gone — as is the
+        // per-delivery sqrt, since distances are precomputed at build.
+        let Network {
+            topology,
+            queue,
+            rng,
+            latency,
+            loss_prob,
+            faults,
+            trace,
+            fault_stats,
+            now,
+            current_cause,
+            ..
+        } = net;
+        let topology = &*topology;
+        let now = *now;
+        let cause = *current_cause;
+        let loss_prob = *loss_prob;
+        let neighbors = topology.neighbors(node);
+        let dists = topology.neighbor_dists(node);
+        for (&v, &dist) in neighbors.iter().zip(dists) {
+            // RNG draw order is the determinism contract: latency sample,
+            // then the loss coin, then the fault hook — per neighbour,
+            // exactly as before the overhaul.
+            let lat = latency.sample(dist, rng).mul_f64(scale);
+            if loss_prob > 0.0 && rng.random_bool(loss_prob) {
                 continue;
             }
-            let Some((extra, dup)) = self.net.consult_faults(node, v, Channel::Broadcast) else {
+            let Some((extra, dup)) = consult_faults_split(
+                faults,
+                topology,
+                now,
+                node,
+                v,
+                Channel::Broadcast,
+                rng,
+                queue,
+                trace,
+                fault_stats,
+                cause,
+            ) else {
                 continue;
             };
-            let at = self.net.now + lat + extra;
-            self.net.queue.schedule_caused(
+            let at = now + lat + extra;
+            queue.schedule_caused(
                 at,
                 EventKind::Deliver {
                     to: v,
@@ -670,10 +759,10 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                     channel: Channel::Broadcast,
                     msg: msg.clone(),
                 },
-                self.net.current_cause,
+                cause,
             );
             if let Some(after) = dup {
-                self.net.queue.schedule_caused(
+                queue.schedule_caused(
                     at + after,
                     EventKind::Deliver {
                         to: v,
@@ -681,7 +770,7 @@ impl<'a, M: Clone + Debug> Ctx<'a, M> {
                         channel: Channel::Broadcast,
                         msg: msg.clone(),
                     },
-                    self.net.current_cause,
+                    cause,
                 );
             }
         }

@@ -5,6 +5,23 @@
 //! is what makes whole simulation runs reproducible from a seed: two events
 //! scheduled for the same microsecond always fire in the order they were
 //! scheduled.
+//!
+//! ## Layout
+//!
+//! The default backend is a struct-of-arrays queue: a manual binary heap
+//! over 24-byte `(at, seq, slot)` keys, with the variable-sized payloads
+//! (`cause` + [`EventKind`]) parked in a slot arena addressed by `u32`
+//! index and recycled through a free list. Sift operations therefore move
+//! small fixed-size keys instead of whole events — the payload for a
+//! routing simulation carries a `Vec<NodeId>` path, so the old
+//! `BinaryHeap<Event<M>>` shuffled ~64-byte structs on every push/pop.
+//!
+//! Because `seq` is unique, `(at, seq)` is a *total* order: any correct
+//! priority queue yields the identical pop sequence. The pre-overhaul
+//! `BinaryHeap` backend is retained behind [`EventQueue::new_reference`]
+//! so the differential harness (`tests/differential_hotpath.rs`) can run
+//! whole scenarios through both backends and compare traces byte for
+//! byte.
 
 use crate::ids::NodeId;
 use crate::time::SimTime;
@@ -128,9 +145,139 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// One heap key: the total order `(at, seq)` plus the arena slot holding
+/// the payload. Sifts move these 24-byte keys, never the payload.
+#[derive(Clone, Copy)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapKey {
+    #[inline]
+    fn precedes(self, other: HeapKey) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
+    }
+}
+
+/// Arena-parked payload of one pending event.
+struct Slot<M> {
+    cause: Option<u64>,
+    kind: EventKind<M>,
+}
+
+/// The struct-of-arrays backend: min-heap of [`HeapKey`]s + payload arena.
+struct SoaQueue<M> {
+    heap: Vec<HeapKey>,
+    slots: Vec<Option<Slot<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> SoaQueue<M> {
+    fn new() -> Self {
+        SoaQueue {
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, cause: Option<u64>, kind: EventKind<M>) {
+        let payload = Some(Slot { cause, kind });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = payload;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(payload);
+                s
+            }
+        };
+        self.heap.push(HeapKey { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<Event<M>> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let key = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let payload = self.slots[key.slot as usize]
+            .take()
+            .expect("popped key addresses a live slot");
+        self.free.push(key.slot);
+        Some(Event {
+            at: key.at,
+            seq: key.seq,
+            cause: payload.cause,
+            kind: payload.kind,
+        })
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|k| k.at)
+    }
+
+    /// Hole-technique sift (one copy per level, like `BinaryHeap`):
+    /// the moving key is held in a register while displaced keys shift
+    /// into the hole, and is written back once at its final position.
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if key.precedes(self.heap[parent]) {
+                self.heap[i] = self.heap[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = key;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let key = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < len && self.heap[right].precedes(self.heap[left]) {
+                best = right;
+            }
+            if self.heap[best].precedes(key) {
+                self.heap[i] = self.heap[best];
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = key;
+    }
+}
+
+/// Which backend an [`EventQueue`] runs on.
+enum QueueImpl<M> {
+    /// Struct-of-arrays (default).
+    Soa(SoaQueue<M>),
+    /// The pre-overhaul `BinaryHeap<Event<M>>`, kept as the oracle for
+    /// the differential harness.
+    Reference(BinaryHeap<Event<M>>),
+}
+
 /// Priority queue of pending events.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    imp: QueueImpl<M>,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -142,13 +289,29 @@ impl<M> Default for EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
-    /// An empty queue.
+    /// An empty queue on the struct-of-arrays backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            imp: QueueImpl::Soa(SoaQueue::new()),
             next_seq: 0,
             scheduled_total: 0,
         }
+    }
+
+    /// An empty queue on the reference `BinaryHeap` backend — the exact
+    /// pre-overhaul implementation, preserved so equivalence of the two
+    /// backends stays end-to-end testable.
+    pub fn new_reference() -> Self {
+        EventQueue {
+            imp: QueueImpl::Reference(BinaryHeap::new()),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Whether this queue runs on the reference backend.
+    pub fn is_reference(&self) -> bool {
+        matches!(self.imp, QueueImpl::Reference(_))
     }
 
     /// Schedule `kind` at absolute time `at` as a causal root.
@@ -163,12 +326,15 @@ impl<M> EventQueue<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Event {
-            at,
-            seq,
-            cause,
-            kind,
-        });
+        match &mut self.imp {
+            QueueImpl::Soa(q) => q.push(at, seq, cause, kind),
+            QueueImpl::Reference(heap) => heap.push(Event {
+                at,
+                seq,
+                cause,
+                kind,
+            }),
+        }
     }
 
     /// Allocate one lineage id without scheduling anything. Used for
@@ -183,27 +349,64 @@ impl<M> EventQueue<M> {
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        match &mut self.imp {
+            QueueImpl::Soa(q) => q.pop(),
+            QueueImpl::Reference(heap) => heap.pop(),
+        }
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.imp {
+            QueueImpl::Soa(q) => q.peek_time(),
+            QueueImpl::Reference(heap) => heap.peek().map(|e| e.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Soa(q) => q.heap.len(),
+            QueueImpl::Reference(heap) => heap.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostic; bounds run cost).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Number of arena slots currently holding a pending payload. Always
+    /// equals [`EventQueue::len`]; zero on the reference backend (which
+    /// has no arena). Exposed for the no-leak property tests.
+    pub fn live_slots(&self) -> usize {
+        match &self.imp {
+            QueueImpl::Soa(q) => q.slots.iter().filter(|s| s.is_some()).count(),
+            QueueImpl::Reference(_) => 0,
+        }
+    }
+
+    /// Total arena slots ever allocated (live + free-listed). A drained
+    /// queue must satisfy `free_slots() == slot_capacity()` — otherwise a
+    /// slot leaked. Zero on the reference backend.
+    pub fn slot_capacity(&self) -> usize {
+        match &self.imp {
+            QueueImpl::Soa(q) => q.slots.len(),
+            QueueImpl::Reference(_) => 0,
+        }
+    }
+
+    /// Slots currently on the free list, ready for reuse.
+    pub fn free_slots(&self) -> usize {
+        match &self.imp {
+            QueueImpl::Soa(q) => q.free.len(),
+            QueueImpl::Reference(_) => 0,
+        }
     }
 }
 
@@ -218,49 +421,111 @@ mod tests {
         }
     }
 
+    fn backends() -> [EventQueue<()>; 2] {
+        [EventQueue::new(), EventQueue::new_reference()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime(30), timer(0, 0));
-        q.schedule(SimTime(10), timer(1, 0));
-        q.schedule(SimTime(20), timer(2, 0));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
-        assert_eq!(order, vec![10, 20, 30]);
+        for mut q in backends() {
+            q.schedule(SimTime(30), timer(0, 0));
+            q.schedule(SimTime(10), timer(1, 0));
+            q.schedule(SimTime(20), timer(2, 0));
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+            assert_eq!(order, vec![10, 20, 30]);
+        }
     }
 
     #[test]
     fn ties_break_in_insertion_order() {
-        let mut q = EventQueue::new();
-        for k in 0..5u64 {
-            q.schedule(SimTime(7), timer(0, k));
+        for mut q in backends() {
+            for k in 0..5u64 {
+                q.schedule(SimTime(7), timer(0, k));
+            }
+            let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Timer { key, .. } => key,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(keys, vec![0, 1, 2, 3, 4]);
         }
-        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { key, .. } => key,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn cause_rides_with_the_event() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        q.schedule(SimTime(1), timer(0, 0));
-        q.schedule_caused(SimTime(2), timer(0, 1), Some(0));
-        assert_eq!(q.pop().unwrap().cause, None);
-        assert_eq!(q.pop().unwrap().cause, Some(0));
+        for mut q in backends() {
+            q.schedule(SimTime(1), timer(0, 0));
+            q.schedule_caused(SimTime(2), timer(0, 1), Some(0));
+            assert_eq!(q.pop().unwrap().cause, None);
+            assert_eq!(q.pop().unwrap().cause, Some(0));
+        }
     }
 
     #[test]
     fn counts_scheduled_events() {
+        for mut q in backends() {
+            assert!(q.is_empty());
+            q.schedule(SimTime(1), timer(0, 0));
+            q.schedule(SimTime(2), timer(0, 1));
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.scheduled_total(), 2);
+            assert_eq!(q.peek_time(), Some(SimTime(2)));
+        }
+    }
+
+    #[test]
+    fn slots_recycle_without_leaking() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(SimTime(1), timer(0, 0));
-        q.schedule(SimTime(2), timer(0, 1));
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.scheduled_total(), 2);
-        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        for round in 0..3u64 {
+            for k in 0..8 {
+                q.schedule(SimTime(round * 100 + k), timer(0, k));
+            }
+            while q.pop().is_some() {}
+            assert_eq!(q.live_slots(), 0, "round {round}");
+            assert_eq!(q.free_slots(), q.slot_capacity(), "round {round}");
+        }
+        // The arena never grew past the first round's high-water mark.
+        assert_eq!(q.slot_capacity(), 8);
+    }
+
+    #[test]
+    fn backends_agree_on_interleaved_schedules_and_pops() {
+        let mut fast: EventQueue<()> = EventQueue::new();
+        let mut reference: EventQueue<()> = EventQueue::new_reference();
+        assert!(!fast.is_reference());
+        assert!(reference.is_reference());
+        // Deterministic pseudo-random interleaving.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for step in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x.is_multiple_of(3) {
+                assert_eq!(
+                    fast.pop().map(|e| (e.at, e.seq, e.cause)),
+                    reference.pop().map(|e| (e.at, e.seq, e.cause)),
+                    "step {step}"
+                );
+            } else {
+                let at = SimTime(x % 50);
+                let cause = x.is_multiple_of(5).then_some(step);
+                fast.schedule_caused(at, timer(0, step), cause);
+                reference.schedule_caused(at, timer(0, step), cause);
+            }
+            assert_eq!(fast.len(), reference.len());
+            assert_eq!(fast.peek_time(), reference.peek_time());
+        }
+        loop {
+            let (a, b) = (fast.pop(), reference.pop());
+            assert_eq!(
+                a.as_ref().map(|e| (e.at, e.seq, e.cause)),
+                b.as_ref().map(|e| (e.at, e.seq, e.cause))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

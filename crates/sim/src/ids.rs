@@ -20,12 +20,45 @@ impl NodeId {
     }
 
     /// Construct from a `usize` index (panics if it does not fit in `u32`;
-    /// simulated networks are far below that bound).
+    /// simulated networks are far below that bound). Plan builders use
+    /// [`NodeId::try_from_idx`] and surface the typed error instead.
     #[inline]
     pub fn from_idx(i: usize) -> Self {
-        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+        match Self::try_from_idx(i) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction from a `usize` index: node ids are `u32`, so
+    /// an index above [`u32::MAX`] cannot name a node.
+    #[inline]
+    pub fn try_from_idx(i: usize) -> Result<Self, NodeIndexOverflow> {
+        u32::try_from(i)
+            .map(NodeId)
+            .map_err(|_| NodeIndexOverflow(i))
     }
 }
+
+/// A node index did not fit the compact `u32` id space. Returned by the
+/// fallible plan builders (e.g. `Topology::try_new`,
+/// `grid::try_uniform_grid`) *before* any per-node allocation happens, so
+/// an absurd requested size fails fast instead of panicking mid-build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeIndexOverflow(pub usize);
+
+impl fmt::Display for NodeIndexOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node index {} exceeds the u32 id space ({} nodes max)",
+            self.0,
+            u32::MAX as u64 + 1
+        )
+    }
+}
+
+impl std::error::Error for NodeIndexOverflow {}
 
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -152,5 +185,23 @@ mod tests {
         let n = NodeId::from_idx(42);
         assert_eq!(n.idx(), 42);
         assert_eq!(format!("{n}"), "n42");
+    }
+
+    #[test]
+    fn oversized_index_is_a_typed_error() {
+        assert_eq!(
+            NodeId::try_from_idx(u32::MAX as usize),
+            Ok(NodeId(u32::MAX))
+        );
+        let too_big = u32::MAX as usize + 1;
+        let err = NodeId::try_from_idx(too_big).unwrap_err();
+        assert_eq!(err, NodeIndexOverflow(too_big));
+        assert!(err.to_string().contains("exceeds the u32 id space"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    fn infallible_constructor_still_panics() {
+        let _ = NodeId::from_idx(u32::MAX as usize + 1);
     }
 }

@@ -48,13 +48,13 @@ pub mod prelude {
         Behavior, Ctx, DeliveryVerdict, FaultHook, FaultStats, InvalidLossProb, Network, RunStats,
     };
     pub use crate::event::{Channel, FaultKind};
-    pub use crate::ids::{Link, NodeId};
+    pub use crate::ids::{Link, NodeId, NodeIndexOverflow};
     pub use crate::metrics::{Metrics, NodeCounters};
     pub use crate::radio::{range_for_tier, LatencyModel, RadioConfig};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::cluster::{two_cluster, two_cluster_with, TwoClusterConfig};
     pub use crate::topology::graph::{bfs_hops, hop_distance, is_connected, shortest_path};
-    pub use crate::topology::grid::{grid_node, uniform_grid};
+    pub use crate::topology::grid::{grid_node, try_uniform_grid, uniform_grid};
     pub use crate::topology::random::{random_topology, random_topology_with, RandomConfig};
     pub use crate::topology::{AttackerPair, NetworkPlan, Pos, Topology};
     pub use crate::trace::{Trace, TraceChannel, TraceEntry, TraceKind};

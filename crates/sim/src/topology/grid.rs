@@ -1,7 +1,7 @@
 //! Uniform grid topologies (paper Fig. 2 and Fig. 8).
 
 use super::{AttackerPair, NetworkPlan, Pos, Topology};
-use crate::ids::NodeId;
+use crate::ids::{NodeId, NodeIndexOverflow};
 use crate::radio::range_for_tier;
 
 /// A `cols × rows` unit-spaced grid with one wormhole pair at mid-height
@@ -20,8 +20,28 @@ use crate::radio::range_for_tier;
 /// left side of the network (close to one attacker) and the destination …
 /// from the opposite side".
 pub fn uniform_grid(cols: usize, rows: usize, tier: u8) -> NetworkPlan {
+    match try_uniform_grid(cols, rows, tier) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`uniform_grid`]: a requested size whose node count
+/// (`cols * rows + 2`) overflows the `u32` id space returns the typed
+/// error *before* any placement is allocated, instead of panicking
+/// mid-build (or attempting an absurd allocation first).
+pub fn try_uniform_grid(
+    cols: usize,
+    rows: usize,
+    tier: u8,
+) -> Result<NetworkPlan, NodeIndexOverflow> {
     assert!(cols >= 3 && rows >= 2, "grid too small to be interesting");
-    let mut positions = Vec::with_capacity(cols * rows + 2);
+    let nodes = cols
+        .checked_mul(rows)
+        .and_then(|n| n.checked_add(2))
+        .ok_or(NodeIndexOverflow(usize::MAX))?;
+    NodeId::try_from_idx(nodes - 1)?;
+    let mut positions = Vec::with_capacity(nodes);
     for row in 0..rows {
         for col in 0..cols {
             positions.push(Pos::new(col as f64, row as f64));
@@ -49,7 +69,7 @@ pub fn uniform_grid(cols: usize, rows: usize, tier: u8) -> NetworkPlan {
         attacker_pairs: vec![AttackerPair { a, b }],
     };
     debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
-    plan
+    Ok(plan)
 }
 
 /// Node id of the grid cell `(col, row)` in a plan built by
@@ -127,6 +147,17 @@ mod tests {
         let d1 = graph::hop_diameter(&t1.topology).unwrap();
         let d2 = graph::hop_diameter(&t2.topology).unwrap();
         assert!(d2 < d1);
+    }
+
+    #[test]
+    fn oversized_grid_fails_fast_without_allocating() {
+        // 2^20 × 2^20 cells = 2^40 nodes: far beyond the u32 id space.
+        // The typed error must come back before any placement is built
+        // (this test would OOM otherwise).
+        let err = try_uniform_grid(1 << 20, 1 << 20, 1).unwrap_err();
+        assert!(err.to_string().contains("exceeds the u32 id space"));
+        // Overflow of the node-count arithmetic itself is caught too.
+        assert!(try_uniform_grid(usize::MAX, 2, 1).is_err());
     }
 
     #[test]

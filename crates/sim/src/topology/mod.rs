@@ -23,8 +23,8 @@ pub mod grid;
 pub mod mobility;
 pub mod random;
 
-use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
+use crate::ids::{NodeId, NodeIndexOverflow};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A point in the plane, in abstract distance units (grid spacing = 1).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -50,34 +50,81 @@ impl Pos {
 }
 
 /// Static node placement plus the disc-radio connectivity derived from it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Connectivity is stored flat, CSR-style: one offsets array plus one
+/// contiguous neighbour-id array (with the per-link Euclidean distances in
+/// a parallel array), so flood propagation iterates cache-friendly slices
+/// and never recomputes a `sqrt` per delivery. Neighbour lists are sorted
+/// ascending by id — the order the old nested-`Vec` build produced — so
+/// the restructuring is invisible to RNG draw order and traces.
+#[derive(Clone, Debug)]
 pub struct Topology {
     positions: Vec<Pos>,
     range: f64,
-    neighbors: Vec<Vec<NodeId>>,
+    /// CSR row offsets, `len() + 1` entries; node `i`'s neighbours live at
+    /// `neighbor_ids[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// All neighbour ids, concatenated per node, each row sorted ascending.
+    neighbor_ids: Vec<NodeId>,
+    /// Euclidean distance to the matching `neighbor_ids` entry.
+    neighbor_dists: Vec<f64>,
 }
 
 impl Topology {
     /// Build a topology from explicit positions and a common radio range.
     /// Neighbour lists are precomputed; links are bidirectional by
     /// construction (shared range).
+    ///
+    /// # Panics
+    /// On a non-positive range or more than `u32::MAX + 1` nodes; use
+    /// [`Topology::try_new`] for a typed error on the latter.
     pub fn new(positions: Vec<Pos>, range: f64) -> Self {
+        match Self::try_new(positions, range) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Topology::new`]: rejects node counts that overflow the
+    /// `u32` id space before building anything.
+    pub fn try_new(positions: Vec<Pos>, range: f64) -> Result<Self, NodeIndexOverflow> {
         assert!(range > 0.0, "radio range must be positive");
         let n = positions.len();
-        let mut neighbors = vec![Vec::new(); n];
+        if n > 0 {
+            NodeId::try_from_idx(n - 1)?;
+        }
+        // Build per-node rows first (ascending by construction: for node
+        // k, partners i < k are pushed across earlier outer iterations,
+        // then partners j > k in inner-loop order), then flatten to CSR.
+        let mut rows: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
         for i in 0..n {
             for j in (i + 1)..n {
-                if positions[i].dist(positions[j]) <= range {
-                    neighbors[i].push(NodeId::from_idx(j));
-                    neighbors[j].push(NodeId::from_idx(i));
+                let d = positions[i].dist(positions[j]);
+                if d <= range {
+                    rows[i].push((NodeId(j as u32), d));
+                    rows[j].push((NodeId(i as u32), d));
                 }
             }
         }
-        Topology {
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbor_ids = Vec::with_capacity(total);
+        let mut neighbor_dists = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for row in rows {
+            for (id, d) in row {
+                neighbor_ids.push(id);
+                neighbor_dists.push(d);
+            }
+            offsets.push(u32::try_from(neighbor_ids.len()).expect("edge count fits u32"));
+        }
+        Ok(Topology {
             positions,
             range,
-            neighbors,
-        }
+            offsets,
+            neighbor_ids,
+            neighbor_dists,
+        })
     }
 
     /// Number of nodes.
@@ -105,14 +152,27 @@ impl Topology {
         self.range
     }
 
-    /// Radio neighbours of `id`.
+    /// Radio neighbours of `id`, ascending by id.
+    #[inline]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.neighbors[id.idx()]
+        let i = id.idx();
+        &self.neighbor_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Whether `a` and `b` are within radio range of each other.
+    /// Euclidean distances to each of [`Topology::neighbors`]`(id)`, in
+    /// the same order — the broadcast hot path reads these instead of
+    /// recomputing a square root per delivery.
+    #[inline]
+    pub fn neighbor_dists(&self, id: NodeId) -> &[f64] {
+        let i = id.idx();
+        &self.neighbor_dists[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether `a` and `b` are within radio range of each other. Binary
+    /// search over the sorted neighbour row.
+    #[inline]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.idx()].contains(&b)
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Euclidean distance between two nodes.
@@ -123,6 +183,30 @@ impl Topology {
     /// Iterate over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.len()).map(NodeId::from_idx)
+    }
+}
+
+/// The wire format stores placement only; connectivity is derived, so it
+/// is rebuilt on deserialization (and the CSR arrays never hit the wire).
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("positions".to_string(), self.positions.to_value()),
+            ("range".to_string(), self.range.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let positions = v
+            .field("positions")
+            .ok_or_else(|| DeError::msg("missing Topology.positions"))?;
+        let range = v
+            .field("range")
+            .ok_or_else(|| DeError::msg("missing Topology.range"))?;
+        Topology::try_new(Vec::<Pos>::from_value(positions)?, f64::from_value(range)?)
+            .map_err(DeError::msg)
     }
 }
 
@@ -184,16 +268,34 @@ impl NetworkPlan {
     /// Extend the plan with one more wormhole pair at explicit positions
     /// (multi-wormhole scenarios, paper §III.D). The topology is rebuilt
     /// with the two new nodes appended, preserving all existing ids.
+    ///
+    /// # Panics
+    /// If the two extra nodes overflow the `u32` id space; see
+    /// [`NetworkPlan::try_with_additional_pair`].
     pub fn with_additional_pair(&self, pos_a: Pos, pos_b: Pos) -> NetworkPlan {
+        match self.try_with_additional_pair(pos_a, pos_b) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`NetworkPlan::with_additional_pair`]: returns the typed
+    /// overflow error instead of panicking when the appended endpoints
+    /// would not fit the `u32` id space.
+    pub fn try_with_additional_pair(
+        &self,
+        pos_a: Pos,
+        pos_b: Pos,
+    ) -> Result<NetworkPlan, NodeIndexOverflow> {
         let mut positions = self.topology.positions().to_vec();
-        let a = NodeId::from_idx(positions.len());
+        let a = NodeId::try_from_idx(positions.len())?;
         positions.push(pos_a);
-        let b = NodeId::from_idx(positions.len());
+        let b = NodeId::try_from_idx(positions.len())?;
         positions.push(pos_b);
         let mut plan = self.clone();
-        plan.topology = Topology::new(positions, self.topology.range());
+        plan.topology = Topology::try_new(positions, self.topology.range())?;
         plan.attacker_pairs.push(AttackerPair { a, b });
-        plan
+        Ok(plan)
     }
 
     /// Sanity-check the plan: non-empty pools, every pool member exists,

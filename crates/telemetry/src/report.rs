@@ -125,6 +125,12 @@ pub struct BenchReport {
     pub name: String,
     /// Wall-clock duration of the measured section, seconds.
     pub wall_s: f64,
+    /// Hot-path microbench throughputs as `(key, per-second)` pairs —
+    /// same pair-array JSON shape as the snapshot counters. Higher is
+    /// better for every key, so `scripts/perf_gate.sh` gates them in
+    /// the same direction as `1 / wall_s`. Empty when the producer does
+    /// not run microbenches (e.g. `loadgen`).
+    pub micro: Vec<(String, f64)>,
     /// Final registry snapshot (counters/gauges/histograms).
     pub snapshot: RegistrySnapshot,
 }
@@ -136,8 +142,15 @@ impl BenchReport {
             kind: "bench".to_string(),
             name: name.to_string(),
             wall_s,
+            micro: Vec::new(),
             snapshot,
         }
+    }
+
+    /// Attach microbench throughputs.
+    pub fn with_micro(mut self, micro: Vec<(String, f64)>) -> Self {
+        self.micro = micro;
+        self
     }
 
     /// Serialize to pretty JSON (the `BENCH_*.json` file format).

@@ -38,6 +38,20 @@ gate "reproduce (1/wall_s)" \
   "$(jq -e '1 / .wall_s' "$FRESH_REPRO")" \
   "$(jq -e '1 / .wall_s' .baseline/BENCH_repro.json)"
 
+# Hot-path microbench throughputs (`micro` is an array of [key, per_s]
+# pairs). Every key present in the baseline must be present in the
+# fresh report and within tolerance; a key the fresh report dropped is
+# a gate failure, not a skip.
+while IFS= read -r key; do
+  fresh_v=$(jq -e --arg k "$key" '[.micro[] | select(.[0] == $k) | .[1]][0] // error("missing micro key")' "$FRESH_REPRO") || {
+    printf 'perf-gate: micro/%-16s FAIL  key missing from %s\n' "$key" "$FRESH_REPRO" >&2
+    fail=1
+    continue
+  }
+  base_v=$(jq -e --arg k "$key" '[.micro[] | select(.[0] == $k) | .[1]][0]' .baseline/BENCH_repro.json)
+  gate "micro/$key" "$fresh_v" "$base_v"
+done < <(jq -r '.micro[]?[0]' .baseline/BENCH_repro.json)
+
 # loadgen reports throughput directly.
 gate "serve (rps)" \
   "$(jq -e '.metrics.throughput_rps' "$FRESH_SERVE")" \

@@ -125,3 +125,12 @@ fn golden_grid6x6_under_fixed_fault_plan() {
     assert!(snap.summary.faults > 0, "fault plan left no trace");
     check_golden("grid6x6_faulted", &snap);
 }
+
+#[test]
+fn golden_random_disc_under_fixed_fault_plan() {
+    // The Fig. 9 random-disc placement: seeded, so the generated
+    // topology — and therefore the whole snapshot — is reproducible.
+    let snap = snapshot_of(TopologyKind::Random);
+    assert!(snap.summary.faults > 0, "fault plan left no trace");
+    check_golden("random_disc_faulted", &snap);
+}

@@ -4,8 +4,35 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 use wormhole_sam::prelude::*;
 use wormhole_sam::routing::packet::{Rreq, RreqId};
+use wormhole_sam::sim::event::{EventKind, EventQueue};
+
+/// One step of an arbitrary event-queue workload.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Schedule a timer at this (possibly past) absolute time.
+    Schedule(u64),
+    /// Pop the earliest pending event (may be a no-op on empty).
+    Pop,
+}
+
+/// Schedule-biased (3:2) so runs build up backlog to drain.
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec((0u8..5, 0u64..200), 1..150).prop_map(|steps| {
+        steps
+            .into_iter()
+            .map(|(sel, at)| {
+                if sel < 3 {
+                    QueueOp::Schedule(at)
+                } else {
+                    QueueOp::Pop
+                }
+            })
+            .collect()
+    })
+}
 
 fn arb_positions(n: usize, side: f64) -> impl Strategy<Value = Vec<Pos>> {
     proptest::collection::vec((0.0..side, 0.0..side), 2..=n)
@@ -114,7 +141,7 @@ proptest! {
             let rreq = Rreq {
                 id: RreqId { src: NodeId(0), seq: *seq },
                 dst: NodeId(1),
-                path: vec![NodeId(0), NodeId(2 + (i as u32 % 3))],
+                path: vec![NodeId(0), NodeId(2 + (i as u32 % 3))].into(),
             };
             if policy.decide(me, &rreq) == ForwardDecision::Forward {
                 *forwarded_per_seq.entry(*seq).or_insert(0u32) += 1;
@@ -138,7 +165,7 @@ proptest! {
             let rreq = Rreq {
                 id: RreqId { src: NodeId(500), seq: 1 },
                 dst: NodeId(501),
-                path,
+                path: path.into(),
             };
             let d = policy.decide(me, &rreq);
             if h > first {
@@ -150,5 +177,76 @@ proptest! {
     #[test]
     fn tier_range_monotone_in_tier(k in 1u8..5) {
         prop_assert!(range_for_tier(k + 1) > range_for_tier(k));
+    }
+
+    /// The struct-of-arrays event queue under arbitrary schedule/pop
+    /// interleavings: every pop returns the minimum pending `(at, seq)`
+    /// (checked against both the reference `BinaryHeap` backend and an
+    /// ordered-set model), the arena never leaks a slot, and its
+    /// capacity never exceeds the workload's concurrency high-water
+    /// mark.
+    #[test]
+    fn soa_queue_matches_reference_and_never_leaks_slots(ops in arb_queue_ops()) {
+        let mut fast: EventQueue<()> = EventQueue::new();
+        let mut reference: EventQueue<()> = EventQueue::new_reference();
+        // Ground-truth model: the set of pending (at, seq) keys. `(at,
+        // seq)` is a total order, so "pop the minimum" fully specifies
+        // correct behaviour.
+        let mut pending: BTreeSet<(SimTime, u64)> = BTreeSet::new();
+        let mut next_seq = 0u64;
+        let mut high_water = 0usize;
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Schedule(at) => {
+                    let at = SimTime(*at);
+                    let kind = EventKind::Timer { node: NodeId(0), key: i as u64 };
+                    fast.schedule(at, kind.clone());
+                    reference.schedule(at, kind);
+                    pending.insert((at, next_seq));
+                    next_seq += 1;
+                    high_water = high_water.max(pending.len());
+                }
+                QueueOp::Pop => {
+                    let a = fast.pop().map(|e| (e.at, e.seq));
+                    let b = reference.pop().map(|e| (e.at, e.seq));
+                    prop_assert_eq!(a, b, "backends disagree at op {}", i);
+                    let expected = pending.iter().next().copied();
+                    prop_assert_eq!(a, expected, "pop is not the minimum at op {}", i);
+                    if let Some(key) = a {
+                        pending.remove(&key);
+                    }
+                }
+            }
+            // Arena invariants hold at every step, not just at the end.
+            prop_assert_eq!(fast.len(), pending.len());
+            prop_assert_eq!(fast.live_slots(), fast.len());
+            prop_assert_eq!(
+                fast.live_slots() + fast.free_slots(),
+                fast.slot_capacity()
+            );
+        }
+
+        // Drain: the tail must come out in full (at, seq) order too.
+        while let Some(e) = fast.pop() {
+            let b = reference.pop().map(|ev| (ev.at, ev.seq));
+            prop_assert_eq!(Some((e.at, e.seq)), b);
+            let expected = pending.iter().next().copied();
+            prop_assert_eq!(Some((e.at, e.seq)), expected);
+            pending.remove(&(e.at, e.seq));
+        }
+        prop_assert!(reference.pop().is_none());
+        prop_assert!(pending.is_empty());
+
+        // No slot leaked: the arena is fully recycled and never grew
+        // past the maximum number of simultaneously pending events.
+        prop_assert_eq!(fast.live_slots(), 0);
+        prop_assert_eq!(fast.free_slots(), fast.slot_capacity());
+        prop_assert!(
+            fast.slot_capacity() <= high_water,
+            "arena {} slots > high-water {}",
+            fast.slot_capacity(),
+            high_water
+        );
     }
 }

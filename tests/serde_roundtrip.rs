@@ -19,7 +19,7 @@ fn routing_messages_round_trip() {
                 seq: 4,
             },
             dst: NodeId(9),
-            path: vec![NodeId(1), NodeId(2)],
+            path: vec![NodeId(1), NodeId(2)].into(),
         }),
         RoutingMsg::Rrep(Rrep {
             id: RreqId {
