@@ -54,6 +54,7 @@ fn requests(n: u64) -> Vec<DetectionRequest> {
                 normal_set((i % 13) as u32)
             },
             probe_ack_ratio: if i % 6 == 0 { Some(0.1) } else { None },
+            detector: None,
         })
         .collect()
 }

@@ -49,6 +49,24 @@ impl Default for SamConfig {
     }
 }
 
+/// The small-sample calibration threshold: at ~10-run training scale the
+/// 3σ library default under-fires on held-out traffic, so everything
+/// operational (experiments, serving, the detector registry) runs at
+/// 2.5σ. This constant is the **only** place the calibration lives.
+pub const CALIBRATED_Z_THRESHOLD: f64 = 2.5;
+
+impl SamConfig {
+    /// The operational calibration shared by the experiments and the
+    /// serving tier (see [`CALIBRATED_Z_THRESHOLD`]). The detector
+    /// registry names this configuration `"sam"`.
+    pub fn calibrated() -> Self {
+        SamConfig {
+            z_threshold: CALIBRATED_Z_THRESHOLD,
+            ..SamConfig::default()
+        }
+    }
+}
+
 /// Everything SAM concludes about one route set.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SamAnalysis {

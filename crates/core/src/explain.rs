@@ -1,16 +1,24 @@
-//! The verdict explainer: *why* SAM flagged a route set.
+//! The verdict explainer: *why* a detector flagged a route set.
 //!
-//! A SAM verdict is two statistics (`p_max`, `Δ`) and a soft decision λ
-//! — enough to act on, useless to debug with. An [`Explanation`] opens
-//! the box: it names the most-frequent link, lists every route crossing
-//! it, and quantifies each route's **leave-one-out contribution** to the
+//! A verdict is a couple of statistics and a soft decision λ — enough to
+//! act on, useless to debug with. An [`Explanation`] opens the box: it
+//! names the most-frequent link, lists every route crossing it, and
+//! quantifies each route's **leave-one-out contribution** to the
 //! statistics (how much `p_max`/`Δ` drop when the route is removed from
 //! the set — the principled answer to "which routes made the detector
 //! fire"). When a causal flight recording of the discovery exists, the
 //! per-hop provenance slots ([`HopProvenance`]) are filled with the
 //! trace's event/cause ids and tunnel markings, tying the statistical
 //! verdict all the way down to individual wormhole tunnel traversals.
+//!
+//! The explanation is detector-agnostic: `detector` names which detector
+//! produced the verdict and `evidence` carries that detector's
+//! [`DetectorEvidence`] variant. The flat SAM statistics stay as
+//! top-level fields (they describe the route set whichever detector
+//! judged it), and both new fields decode leniently so explanation lines
+//! written before the detector redesign still parse.
 
+use crate::detect::{DetectorEvidence, DetectorVerdict};
 use crate::detector::SamAnalysis;
 use crate::stats::LinkStats;
 use manet_routing::Route;
@@ -66,10 +74,18 @@ pub struct RouteExplanation {
 /// The full explanation of one detection, serialized into flight
 /// recordings, telemetry JSONL, and `results/*.json` reports (its
 /// `kind` field discriminates the line).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct Explanation {
     /// Line discriminator, always `"explanation"`.
     pub kind: String,
+    /// Name of the detector that produced the verdict (`"sam"`,
+    /// `"zscore"`, `"geometric"`, `"ensemble"`).
+    pub detector: String,
+    /// The detector's normalized anomaly score (1.0 = decision
+    /// boundary); 0 on explanations predating the detector redesign.
+    pub score: f64,
+    /// Detector-specific evidence, when the producing path supplied it.
+    pub evidence: Option<DetectorEvidence>,
     /// The most-frequent (suspect) link, as `(lo, hi)` node ids.
     pub suspect_link: Option<(u32, u32)>,
     /// Occurrences of the suspect link (`n_max`).
@@ -94,6 +110,47 @@ pub struct Explanation {
     pub routes: Vec<RouteExplanation>,
 }
 
+// Hand-written so explanation lines recorded before the detector
+// redesign (no `detector`/`score`/`evidence` fields) keep decoding:
+// those three default, everything else stays required.
+impl Deserialize for Explanation {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::msg(format!("missing field `{name}`")))
+        };
+        Ok(Explanation {
+            kind: Deserialize::from_value(required("kind")?)?,
+            detector: match v.field("detector") {
+                None => "sam".to_string(),
+                Some(d) => Deserialize::from_value(d)?,
+            },
+            score: match v.field("score") {
+                None => 0.0,
+                Some(s) => Deserialize::from_value(s)?,
+            },
+            evidence: match v.field("evidence") {
+                None => None,
+                Some(e) => Deserialize::from_value(e)?,
+            },
+            suspect_link: match v.field("suspect_link") {
+                None => None,
+                Some(l) => Deserialize::from_value(l)?,
+            },
+            suspect_count: Deserialize::from_value(required("suspect_count")?)?,
+            total_links: Deserialize::from_value(required("total_links")?)?,
+            p_max: Deserialize::from_value(required("p_max")?)?,
+            delta: Deserialize::from_value(required("delta")?)?,
+            z_p_max: Deserialize::from_value(required("z_p_max")?)?,
+            z_delta: Deserialize::from_value(required("z_delta")?)?,
+            lambda: Deserialize::from_value(required("lambda")?)?,
+            anomalous: Deserialize::from_value(required("anomalous")?)?,
+            tunnel_traversals: Deserialize::from_value(required("tunnel_traversals")?)?,
+            routes: Deserialize::from_value(required("routes")?)?,
+        })
+    }
+}
+
 /// Leave-one-out statistics: `(p_max, Δ)` of `routes` with index `skip`
 /// removed.
 fn loo_stats(routes: &[Route], skip: usize) -> (f64, f64) {
@@ -107,48 +164,116 @@ fn loo_stats(routes: &[Route], skip: usize) -> (f64, f64) {
     (stats.p_max(), stats.delta())
 }
 
+/// Shared construction: list the suspect-crossing routes with their
+/// leave-one-out contributions. `p_max`/`delta` are the observed set
+/// statistics whichever detector produced the verdict.
+#[allow(clippy::too_many_arguments)]
+fn build_explanation(
+    routes: &[Route],
+    suspect: Option<manet_sim::Link>,
+    detector: String,
+    score: f64,
+    evidence: Option<DetectorEvidence>,
+    p_max: f64,
+    delta: f64,
+    z_p_max: f64,
+    z_delta: f64,
+    lambda: f64,
+    anomalous: bool,
+) -> Explanation {
+    let stats = LinkStats::from_routes(routes);
+    let mut explained = Vec::new();
+    for (i, route) in routes.iter().enumerate() {
+        let crosses = suspect.map(|l| route.contains_link(l)).unwrap_or(false);
+        if !crosses {
+            continue;
+        }
+        let (loo_p_max, loo_delta) = loo_stats(routes, i);
+        explained.push(RouteExplanation {
+            nodes: route.nodes().iter().map(|n| n.0).collect(),
+            hops: route
+                .nodes()
+                .windows(2)
+                .map(|w| HopProvenance::plain(w[0].0, w[1].0))
+                .collect(),
+            tunnel_hops: 0,
+            lineage_depth: 0,
+            p_max_contribution: p_max - loo_p_max,
+            delta_contribution: delta - loo_delta,
+        });
+    }
+    Explanation {
+        kind: "explanation".to_string(),
+        detector,
+        score,
+        evidence,
+        suspect_link: suspect.map(|l| (l.lo().0, l.hi().0)),
+        suspect_count: suspect.map(|l| u64::from(stats.count(l))).unwrap_or(0),
+        total_links: stats.total_links(),
+        p_max,
+        delta,
+        z_p_max,
+        z_delta,
+        lambda,
+        anomalous,
+        tunnel_traversals: 0,
+        routes: explained,
+    }
+}
+
 impl Explanation {
-    /// Build the explanation of `analysis` over the route set it was
-    /// computed from. Hop provenance starts plain; callers holding a
+    /// Build the explanation of a SAM `analysis` over the route set it
+    /// was computed from. Hop provenance starts plain; callers holding a
     /// flight recording fill it in with [`Explanation::set_provenance`].
+    /// The normalized `score` is unknown at this layer (it needs the
+    /// detector's threshold) and stays 0; paths that hold a
+    /// [`DetectorVerdict`] should prefer [`Explanation::from_verdict`].
     pub fn from_analysis(routes: &[Route], analysis: &SamAnalysis) -> Self {
-        let f = &analysis.features;
-        let suspect = analysis.suspect_link;
-        let stats = LinkStats::from_routes(routes);
-        let mut explained = Vec::new();
-        for (i, route) in routes.iter().enumerate() {
-            let crosses = suspect.map(|l| route.contains_link(l)).unwrap_or(false);
-            if !crosses {
-                continue;
-            }
-            let (loo_p_max, loo_delta) = loo_stats(routes, i);
-            explained.push(RouteExplanation {
-                nodes: route.nodes().iter().map(|n| n.0).collect(),
-                hops: route
-                    .nodes()
-                    .windows(2)
-                    .map(|w| HopProvenance::plain(w[0].0, w[1].0))
-                    .collect(),
-                tunnel_hops: 0,
-                lineage_depth: 0,
-                p_max_contribution: f.p_max - loo_p_max,
-                delta_contribution: f.delta - loo_delta,
-            });
-        }
-        Explanation {
-            kind: "explanation".to_string(),
-            suspect_link: suspect.map(|l| (l.lo().0, l.hi().0)),
-            suspect_count: suspect.map(|l| u64::from(stats.count(l))).unwrap_or(0),
-            total_links: stats.total_links(),
-            p_max: f.p_max,
-            delta: f.delta,
-            z_p_max: analysis.z_p_max,
-            z_delta: analysis.z_delta,
-            lambda: analysis.lambda,
-            anomalous: analysis.anomalous,
-            tunnel_traversals: 0,
-            routes: explained,
-        }
+        build_explanation(
+            routes,
+            analysis.suspect_link,
+            "sam".to_string(),
+            0.0,
+            Some(DetectorEvidence::Sam {
+                z_p_max: analysis.z_p_max,
+                z_delta: analysis.z_delta,
+                z_hops_short: analysis.z_hops_short,
+                pmf_anomalous: analysis.pmf_verdict.map(|v| v.anomalous),
+                untrained: analysis.untrained,
+            }),
+            analysis.features.p_max,
+            analysis.features.delta,
+            analysis.z_p_max,
+            analysis.z_delta,
+            analysis.lambda,
+            analysis.anomalous,
+        )
+    }
+
+    /// Build the explanation of any detector's verdict over the route
+    /// set it judged. The top-level z-scores are filled from SAM
+    /// evidence when the verdict carries it (they are SAM statistics;
+    /// other detectors leave them 0).
+    pub fn from_verdict(routes: &[Route], verdict: &DetectorVerdict) -> Self {
+        let (z_p_max, z_delta) = match &verdict.evidence {
+            DetectorEvidence::Sam {
+                z_p_max, z_delta, ..
+            } => (*z_p_max, *z_delta),
+            _ => (0.0, 0.0),
+        };
+        build_explanation(
+            routes,
+            verdict.suspect_link,
+            verdict.detector.clone(),
+            verdict.score,
+            Some(verdict.evidence.clone()),
+            verdict.p_max,
+            verdict.delta,
+            z_p_max,
+            z_delta,
+            verdict.lambda,
+            verdict.anomalous,
+        )
     }
 
     /// Fill route `idx`'s hop provenance from a reconstructed lineage and
@@ -321,5 +446,67 @@ mod tests {
             v.field("kind").and_then(serde::Value::as_str),
             Some("explanation")
         );
+        assert_eq!(
+            v.field("detector").and_then(serde::Value::as_str),
+            Some("sam")
+        );
+    }
+
+    #[test]
+    fn pre_redesign_explanation_lines_still_decode() {
+        // An explanation serialized before the detector redesign carries
+        // none of `detector`/`score`/`evidence` — it must decode with
+        // the documented defaults, not error.
+        let old = concat!(
+            r#"{"kind":"explanation","suspect_link":[7,8],"suspect_count":3,"#,
+            r#""total_links":14,"p_max":0.214,"delta":0.5,"z_p_max":9.1,"#,
+            r#""z_delta":8.2,"lambda":0.001,"anomalous":true,"#,
+            r#""tunnel_traversals":0,"routes":[]}"#
+        );
+        let ex: Explanation = serde_json::from_str(old).unwrap();
+        assert_eq!(ex.detector, "sam");
+        assert_eq!(ex.score, 0.0);
+        assert_eq!(ex.evidence, None);
+        assert_eq!(ex.suspect_link, Some((7, 8)));
+        assert!(ex.anomalous);
+    }
+
+    #[test]
+    fn from_verdict_carries_the_detector_name_score_and_evidence() {
+        let profile = NormalProfile::train(&normal_sets(), 20);
+        let routes = attacked_set();
+        let d = SamDetector::default();
+        let verdict = crate::detect::verdict_from_sam(d.config(), &d.analyze(&routes, &profile));
+        let ex = Explanation::from_verdict(&routes, &verdict);
+        assert_eq!(ex.detector, "sam");
+        assert_eq!(ex.score, verdict.score);
+        assert!(ex.score > 1.0, "attacked set must sit past the boundary");
+        assert_eq!(ex.evidence.as_ref(), Some(&verdict.evidence));
+        // The listed routes match the analysis-built explanation exactly.
+        let from_analysis = Explanation::from_analysis(&routes, &d.analyze(&routes, &profile));
+        assert_eq!(ex.routes, from_analysis.routes);
+        assert_eq!(ex.suspect_link, from_analysis.suspect_link);
+        assert_eq!(ex.z_p_max, from_analysis.z_p_max);
+        assert_eq!(ex.z_delta, from_analysis.z_delta);
+    }
+
+    #[test]
+    fn from_verdict_on_a_non_sam_detector_leaves_sam_z_scores_zero() {
+        use crate::detect::{Detector, DetectorInput, ZScoreNeighborDetector};
+        let profile = NormalProfile::train(&normal_sets(), 20);
+        let routes = attacked_set();
+        let verdict =
+            ZScoreNeighborDetector::default().detect(&DetectorInput::new(&routes, &profile));
+        let ex = Explanation::from_verdict(&routes, &verdict);
+        assert_eq!(ex.detector, "zscore");
+        assert_eq!(ex.z_p_max, 0.0);
+        assert_eq!(ex.z_delta, 0.0);
+        assert!(matches!(
+            ex.evidence,
+            Some(DetectorEvidence::NeighborZ { .. })
+        ));
+        // The suspect-crossing route listing works off the verdict's link.
+        assert_eq!(ex.suspect_link, Some((7, 8)));
+        assert_eq!(ex.routes.len(), 3);
     }
 }

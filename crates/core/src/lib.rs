@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod collaboration;
+pub mod detect;
 pub mod detector;
 pub mod explain;
 pub mod hypothesis;
@@ -71,7 +72,13 @@ pub mod stats;
 /// One-stop imports for SAM users.
 pub mod prelude {
     pub use crate::collaboration::{GlobalCoordinator, LinkVerdict, NodeVerdict};
-    pub use crate::detector::{SamAnalysis, SamConfig, SamDetector};
+    pub use crate::detect::{
+        run_procedure, verdict_from_sam, Detector, DetectorEvidence, DetectorInput,
+        DetectorOutcome, DetectorRegistry, DetectorVerdict, DetectorVote, EnsembleDetector,
+        GeometricConfig, GeometricDetector, TopologyObservations, Voting, ZScoreConfig,
+        ZScoreNeighborDetector, DETECTOR_NAMES,
+    };
+    pub use crate::detector::{SamAnalysis, SamConfig, SamDetector, CALIBRATED_Z_THRESHOLD};
     pub use crate::explain::{Explanation, HopProvenance, RouteExplanation};
     pub use crate::hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
     pub use crate::ids::{AgentAction, AgentConfig, AgentPhase, IdsAgent, ResponseMsg};

@@ -71,7 +71,7 @@ impl Default for ProcedureConfig {
 /// Attack report emitted on confirmation (step 3) — the payload of the
 /// "report to security authority and/or notify the source and the
 /// neighbours of the attackers" signalling.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AttackReport {
     /// The attack link.
     pub suspect_link: (NodeId, NodeId),

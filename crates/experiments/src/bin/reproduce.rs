@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [--runs N] [--jobs N] [--out DIR] [--telemetry FILE]
 //!           [--flight FILE] [--bench FILE] [--robustness-bench FILE]
-//!           [EXPERIMENT_ID ...]
+//!           [--roc-bench FILE] [EXPERIMENT_ID ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Each produces an ASCII table on
@@ -39,6 +39,7 @@ struct Args {
     flight: Option<PathBuf>,
     bench: Option<PathBuf>,
     robustness_bench: Option<PathBuf>,
+    roc_bench: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -59,6 +60,7 @@ fn parse_args() -> Parsed {
     let mut flight = None;
     let mut bench = None;
     let mut robustness_bench = None;
+    let mut roc_bench = None;
     let mut ids = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -111,6 +113,12 @@ fn parse_args() -> Parsed {
                 };
                 robustness_bench = Some(PathBuf::from(v));
             }
+            "--roc-bench" => {
+                let Some(v) = it.next() else {
+                    return Parsed::Error("--roc-bench needs a value".into());
+                };
+                roc_bench = Some(PathBuf::from(v));
+            }
             "--list" => {
                 return Parsed::Info(ALL_IDS.join("\n"));
             }
@@ -124,6 +132,8 @@ fn parse_args() -> Parsed {
                      --bench FILE: write a wall-time + counters bench report to FILE\n  \
                      --robustness-bench FILE: write the robustness sweep report to FILE \
                      (implies the robustness id)\n  \
+                     --roc-bench FILE: write the detector ROC sweep report to FILE \
+                     (implies the roc id)\n  \
                      known ids: {}",
                     ALL_IDS.join(", ")
                 ));
@@ -139,6 +149,9 @@ fn parse_args() -> Parsed {
     if robustness_bench.is_some() && !ids.iter().any(|i| i == "robustness") {
         ids.push("robustness".to_string());
     }
+    if roc_bench.is_some() && !ids.iter().any(|i| i == "roc") {
+        ids.push("roc".to_string());
+    }
     Parsed::Run(Args {
         runs,
         jobs,
@@ -147,6 +160,7 @@ fn parse_args() -> Parsed {
         flight,
         bench,
         robustness_bench,
+        roc_bench,
         ids,
     })
 }
@@ -205,6 +219,24 @@ fn main() -> ExitCode {
                 }
             }
             Some(sam_experiments::robustness::tables(&report))
+        } else if id == "roc" {
+            // Same compute-once shape: the ROC sweep feeds its table and
+            // (when asked) BENCH_roc.json.
+            let report = sam_experiments::roc::compute(args.runs);
+            if let Some(path) = &args.roc_bench {
+                match std::fs::write(path, report.to_json()) {
+                    Ok(()) => println!(
+                        "[roc: {} curves -> {}]",
+                        report.curves.len(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+            }
+            Some(sam_experiments::roc::tables(&report))
         } else {
             run_experiment(id, args.runs)
         };

@@ -118,12 +118,10 @@ pub fn evaluate(
         .collect();
     // At this training scale (≈10 sets, the paper's series length) the
     // profile σ is a noisy small-sample estimate, so the library's 3σ
-    // default under-fires; 2.5σ keeps a wide margin above normal traffic
-    // (z ≲ 1 here) while catching attacked sets (z ≈ 2.8+).
-    let detector = SamDetector::new(SamConfig {
-        z_threshold: 2.5,
-        ..SamConfig::default()
-    });
+    // default under-fires; the calibrated 2.5σ keeps a wide margin above
+    // normal traffic (z ≲ 1 here) while catching attacked sets
+    // (z ≈ 2.8+).
+    let detector = SamDetector::new(SamConfig::calibrated());
     let profile = NormalProfile::train(&training, detector.config().pmf_bins);
 
     let mut step1_fp = 0usize;

@@ -60,12 +60,9 @@ pub fn record_flight(
     let training: Vec<Vec<Route>> = (0..opts.train_runs)
         .map(|i| run_once_with_routes(&normal, TRAIN_OFFSET + i).1)
         .collect();
-    // 2.5σ, as in the detection experiment: small-sample profiles
-    // under-fire at the library's 3σ default.
-    let detector = SamDetector::new(SamConfig {
-        z_threshold: 2.5,
-        ..SamConfig::default()
-    });
+    // The calibrated 2.5σ threshold, as in the detection experiment:
+    // small-sample profiles under-fire at the library's 3σ default.
+    let detector = SamDetector::new(SamConfig::calibrated());
     let profile = NormalProfile::train(&training, detector.config().pmf_bins);
 
     // The recorded run, trace on.
@@ -96,7 +93,8 @@ pub fn record_flight(
     // Explain the verdict, backing every suspicious route's hops with
     // the causal trace.
     let analysis = detector.analyze(&discovery.routes, &profile);
-    let mut explanation = Explanation::from_analysis(&discovery.routes, &analysis);
+    let verdict = verdict_from_sam(detector.config(), &analysis);
+    let mut explanation = Explanation::from_verdict(&discovery.routes, &verdict);
     for i in 0..explanation.routes.len() {
         let nodes: Vec<NodeId> = explanation.routes[i]
             .nodes

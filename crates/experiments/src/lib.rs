@@ -23,6 +23,7 @@
 //! | `detection` | end-to-end detector quality (extension) | [`detection`] |
 //! | `ablations` | design-choice sweeps (extension) | [`ablations`] |
 //! | `robustness` | detection vs. loss/churn/attacker variants (extension) | [`robustness`] |
+//! | `roc` | detector × attacker ROC curves (extension) | [`roc`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub mod flight;
 pub mod microbench;
 pub mod report;
 pub mod robustness;
+pub mod roc;
 pub mod runner;
 pub mod scenario;
 pub mod series;
@@ -72,6 +74,7 @@ pub const ALL_IDS: &[&str] = &[
     "detection",
     "ablations",
     "robustness",
+    "roc",
 ];
 
 /// Run one experiment by id with the given series length (`runs` is
@@ -95,6 +98,7 @@ pub fn run_experiment(id: &str, runs: u64) -> Option<Vec<Table>> {
         "detection" => vec![detection::run(runs)],
         "ablations" => ablations::run_all(runs),
         "robustness" => robustness::run(runs),
+        "roc" => roc::run(runs),
         _ => return None,
     };
     Some(tables)
@@ -105,6 +109,7 @@ pub mod prelude {
     pub use crate::flight::{record_flight, FlightOptions};
     pub use crate::report::{Cell, Table};
     pub use crate::robustness::{RobustnessPoint, RobustnessReport};
+    pub use crate::roc::{RocCurve, RocHeadline, RocPoint, RocReport};
     pub use crate::runner::{
         build_plan, default_jobs, mean_of, run_once, run_once_configured, run_once_faulted,
         run_once_with_routes, run_series, run_series_jobs, set_global_jobs, RunRecord, PAPER_RUNS,
@@ -125,6 +130,6 @@ mod tests {
         let t = run_experiment("fig9", 1).expect("fig9 known");
         assert_eq!(t[0].id, "fig9");
         assert!(run_experiment("nope", 1).is_none());
-        assert_eq!(ALL_IDS.len(), 16);
+        assert_eq!(ALL_IDS.len(), 17);
     }
 }

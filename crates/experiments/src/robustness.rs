@@ -167,12 +167,9 @@ pub fn compute(runs: u64) -> RobustnessReport {
         })
         .collect();
     // Same small-sample threshold rationale as the `detection`
-    // experiment: 2.5σ clears normal traffic with margin at ten-run
-    // training scale.
-    let detector = SamDetector::new(SamConfig {
-        z_threshold: 2.5,
-        ..SamConfig::default()
-    });
+    // experiment: the calibrated 2.5σ clears normal traffic with margin
+    // at ten-run training scale.
+    let detector = SamDetector::new(SamConfig::calibrated());
     let profile = NormalProfile::train(&training, detector.config().pmf_bins);
 
     let mut points = Vec::new();

@@ -204,10 +204,7 @@ fn main() -> ExitCode {
             cache_capacity: args.cache,
             // Calibrated like loadgen and the detection experiment: at
             // ~10-run training scale the 3σ default under-fires.
-            detector: sam::SamConfig {
-                z_threshold: 2.5,
-                ..sam::SamConfig::default()
-            },
+            detector: sam::SamConfig::calibrated(),
             explain: args.explain,
             ..ServiceConfig::default()
         },

@@ -173,6 +173,7 @@ struct Shared {
     request_shed: Arc<Counter>,
     codec_errors: Arc<Counter>,
     unknown_key: Arc<Counter>,
+    unknown_detector: Arc<Counter>,
     active_conns: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     serialize_us: Arc<Histogram>,
@@ -204,6 +205,8 @@ struct FinishedRequest<'a> {
     timing: StageTiming,
     total_us: u64,
     verdict: Option<&'a Verdict>,
+    detector: Option<&'a str>,
+    score: Option<f64>,
 }
 
 /// The sam-wiretrace back end: mints trace ids, tail-samples finished
@@ -272,6 +275,8 @@ impl Tracer {
                 key: req.key.to_string(),
                 shard: req.shard,
                 status: req.status.to_string(),
+                detector: req.detector.map(str::to_string),
+                score: req.score,
                 anomalous: req.verdict.map(|v| v.anomalous),
                 confirmed: req.verdict.map(|v| v.confirmed),
                 p_max: req.verdict.map(|v| v.p_max),
@@ -448,6 +453,7 @@ impl Gateway {
             request_shed: registry.counter("gateway.request_shed"),
             codec_errors: registry.counter("gateway.codec_errors"),
             unknown_key: registry.counter("gateway.unknown_key"),
+            unknown_detector: registry.counter("gateway.unknown_detector"),
             active_conns: registry.gauge("gateway.active_conns"),
             latency_us: registry.histogram_pow2("gateway.request_latency_us"),
             serialize_us: registry.histogram_pow2("gateway.serialize_us"),
@@ -869,7 +875,9 @@ fn serve_line(
             let finish = |status: &str,
                           shard: Option<u64>,
                           timing: StageTiming,
-                          verdict: Option<&Verdict>| {
+                          verdict: Option<&Verdict>,
+                          detector: Option<&str>,
+                          score: Option<f64>| {
                 if let (Some(t), Some(ctx)) = (&shared.tracer, &trace_ctx) {
                     t.finish(&FinishedRequest {
                         trace: ctx.trace,
@@ -880,6 +888,8 @@ fn serve_line(
                         timing,
                         total_us: accepted_at.elapsed().as_micros().min(u64::MAX as u128) as u64,
                         verdict,
+                        detector,
+                        score,
                     });
                 }
             };
@@ -894,7 +904,14 @@ fn serve_line(
                         id,
                         format!("unknown deployment key {key}"),
                     ));
-                    finish(wire::STATUS_ERROR, None, StageTiming::default(), None);
+                    finish(
+                        wire::STATUS_ERROR,
+                        None,
+                        StageTiming::default(),
+                        None,
+                        None,
+                        None,
+                    );
                     write_line(writer, &resp)?;
                     return Ok(true);
                 }
@@ -904,7 +921,14 @@ fn serve_line(
                 Err(e) => {
                     shared.codec_errors.inc();
                     let resp = stamp(WireResponse::error(id, e.to_string()));
-                    finish(wire::STATUS_ERROR, None, StageTiming::default(), None);
+                    finish(
+                        wire::STATUS_ERROR,
+                        None,
+                        StageTiming::default(),
+                        None,
+                        None,
+                        None,
+                    );
                     write_line(writer, &resp)?;
                     return Ok(true);
                 }
@@ -935,6 +959,8 @@ fn serve_line(
                     }
                     let mut timing = response.timing;
                     let verdict = response.verdict.clone();
+                    let detector = response.detector.clone();
+                    let score = response.score;
                     let wire_resp = stamp(WireResponse::ok(response));
                     // Encoding doubles as the serialize-stage measurement;
                     // when the client asked for timings the line is
@@ -964,7 +990,14 @@ fn serve_line(
                             );
                         }
                     }
-                    finish(wire::STATUS_OK, Some(shard as u64), timing, Some(&verdict));
+                    finish(
+                        wire::STATUS_OK,
+                        Some(shard as u64),
+                        timing,
+                        Some(&verdict),
+                        Some(&detector),
+                        Some(score),
+                    );
                     emit_stage_children(&gw_span, &timing, accepted_at, total_us);
                     drop(gw_span);
                     write_encoded_line(writer, &encoded)?;
@@ -978,6 +1011,25 @@ fn serve_line(
                         Some(shard as u64),
                         StageTiming::default(),
                         None,
+                        None,
+                        None,
+                    );
+                    write_line(writer, &resp)?;
+                }
+                Err(SubmitError::UnknownDetector { name }) => {
+                    // A typo in the detector name is the client's
+                    // mistake, not the connection's: answer with the
+                    // typed status and keep serving the line stream.
+                    shared.unknown_detector.inc();
+                    drop(gw_span);
+                    let resp = stamp(WireResponse::unknown_detector(id, &name));
+                    finish(
+                        wire::STATUS_UNKNOWN_DETECTOR,
+                        Some(shard as u64),
+                        StageTiming::default(),
+                        None,
+                        Some(&name),
+                        None,
                     );
                     write_line(writer, &resp)?;
                 }
@@ -988,6 +1040,8 @@ fn serve_line(
                         wire::STATUS_ERROR,
                         Some(shard as u64),
                         StageTiming::default(),
+                        None,
+                        None,
                         None,
                     );
                     write_line(writer, &resp)?;

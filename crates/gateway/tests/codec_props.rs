@@ -8,7 +8,7 @@ mod common;
 
 use common::{traced_wire_request, wire_request};
 use proptest::prelude::*;
-use sam_serve::wire::{decode_line, FrameError, FrameReader, WireLine, WireRequest};
+use sam_serve::wire::{decode_line, FrameError, FrameReader, WireLine, WireRequest, WireResponse};
 use std::io::Read;
 
 /// A reader that hands out its bytes in a caller-chosen chunk pattern,
@@ -144,6 +144,58 @@ proptest! {
         // decode_line must fail typed (or succeed) on anything — panics
         // here would let one bad client kill a connection worker.
         let _ = decode_line(&bytes);
+    }
+
+    #[test]
+    fn detector_named_requests_round_trip_and_old_lines_decode_without_one(
+        id in 0..1_000_000u64,
+        pick in 0..=4usize,
+        sizes in proptest::collection::vec(1..9usize, 1..=6),
+    ) {
+        // pick 0..4 selects a registry name; pick 4 leaves the choice
+        // implicit, the pre-redesign request shape.
+        let mut req = wire_request(id);
+        req.detector = sam::DETECTOR_NAMES.get(pick).map(|n| n.to_string());
+        let mut stream = req.encode().into_bytes();
+        stream.push(b'\n');
+        let mut reader = frame(stream, sizes, 1 << 20);
+        let line = reader.next_frame().expect("frame").expect("line present");
+        match decode_line(&line).expect("decode") {
+            WireLine::Request(decoded) => prop_assert_eq!(&*decoded, &req),
+            WireLine::Command(c) => panic!("request decoded as command {c:?}"),
+        }
+        // A line from a client built before detector selection existed —
+        // no `detector` key at all — must decode to the implicit choice.
+        let old = format!(
+            "{{\"id\":{id},\"topology\":\"synthetic-a\",\"protocol\":\"mr\",\
+             \"routes\":[[0,1,6,11]]}}"
+        );
+        match decode_line(old.as_bytes()).expect("old line decodes") {
+            WireLine::Request(decoded) => prop_assert_eq!(decoded.detector, None),
+            WireLine::Command(c) => panic!("request decoded as command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn response_detector_and_score_round_trip_and_old_lines_decode(
+        id in 0..1_000_000u64,
+        score in 0.0..10.0f64,
+        pick in 0..=4usize,
+    ) {
+        let mut resp = WireResponse::error(id, "x");
+        resp.detector = sam::DETECTOR_NAMES.get(pick).map(|n| n.to_string());
+        resp.score = (pick < 4).then_some(score);
+        let back = WireResponse::decode(resp.encode().as_bytes()).expect("decode");
+        prop_assert_eq!(back.id, resp.id);
+        prop_assert_eq!(&back.status, &resp.status);
+        prop_assert_eq!(&back.detector, &resp.detector);
+        prop_assert_eq!(back.score, resp.score);
+        // A pre-redesign gateway's line carries neither field; a new
+        // client must read it as "no detector echoed".
+        let old = format!("{{\"id\":{id},\"status\":\"ok\"}}");
+        let back = WireResponse::decode(old.as_bytes()).expect("old line decodes");
+        prop_assert_eq!(back.detector, None);
+        prop_assert_eq!(back.score, None);
     }
 
     #[test]

@@ -102,6 +102,15 @@ pub fn wire_request(id: u64) -> WireRequest {
         },
         timings: false,
         trace: None,
+        detector: None,
+    }
+}
+
+/// The same synthetic request addressed to a named detector.
+pub fn detector_wire_request(id: u64, detector: &str) -> WireRequest {
+    WireRequest {
+        detector: Some(detector.to_string()),
+        ..wire_request(id)
     }
 }
 

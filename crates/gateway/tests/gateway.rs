@@ -7,8 +7,8 @@
 
 mod common;
 
-use common::{test_gateway, wire_request, Client};
-use sam_serve::wire::{STATUS_ERROR, STATUS_OK, STATUS_SHED};
+use common::{detector_wire_request, test_gateway, wire_request, Client};
+use sam_serve::wire::{STATUS_ERROR, STATUS_OK, STATUS_SHED, STATUS_UNKNOWN_DETECTOR};
 use std::collections::BTreeMap;
 
 /// Serve `n` synthetic requests over one pipelined connection; returns
@@ -131,6 +131,42 @@ fn unknown_keys_are_refused_when_a_catalogue_is_pinned() {
 
     let snapshot = gateway.drain();
     assert_eq!(snapshot.counter("gateway.unknown_key"), 1);
+}
+
+#[test]
+fn detector_selection_serves_alternatives_and_types_unknown_names() {
+    let gateway = test_gateway(1);
+    let mut client = Client::connect(gateway.local_addr()).expect("connect");
+
+    // id 0 is an attacked set — the ensemble must flag it and the
+    // response must echo the detector that judged it.
+    client
+        .send(&detector_wire_request(0, "ensemble"))
+        .expect("send");
+    let resp = client.recv().expect("response");
+    assert_eq!(resp.status, STATUS_OK);
+    assert_eq!(resp.detector.as_deref(), Some("ensemble"));
+    assert!(resp.score.expect("ok carries a score") > 1.0);
+    assert!(resp.verdict.expect("ok carries verdict").anomalous);
+
+    // A typo'd detector gets the typed status — and keeps the line open.
+    client
+        .send(&detector_wire_request(1, "oracle"))
+        .expect("send");
+    let resp = client.recv().expect("response");
+    assert_eq!(resp.status, STATUS_UNKNOWN_DETECTOR);
+    assert_eq!(resp.id, 1);
+    assert!(resp.error.unwrap().contains("unknown detector `oracle`"));
+
+    // Still serving: an unadorned request behaves exactly as before.
+    client.send(&wire_request(2)).expect("send");
+    let resp = client.recv().expect("response");
+    assert_eq!(resp.status, STATUS_OK);
+    assert_eq!(resp.detector.as_deref(), Some("sam"));
+
+    let snapshot = gateway.drain();
+    assert_eq!(snapshot.counter("gateway.unknown_detector"), 1);
+    assert_eq!(snapshot.counter("gateway.requests"), 2);
 }
 
 #[test]

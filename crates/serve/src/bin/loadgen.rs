@@ -57,6 +57,7 @@ struct Args {
     queue: usize,
     attacked_pct: u32,
     faults: Option<String>,
+    detector: Option<String>,
     explain: bool,
     json: Option<String>,
     telemetry: Option<String>,
@@ -76,6 +77,7 @@ impl Default for Args {
             queue: 256,
             attacked_pct: 30,
             faults: None,
+            detector: None,
             explain: false,
             json: None,
             telemetry: None,
@@ -112,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--faults" => args.faults = Some(value("--faults")?),
+            "--detector" => args.detector = Some(value("--detector")?),
             "--explain" => args.explain = true,
             "--json" => args.json = Some(value("--json")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
@@ -130,6 +133,8 @@ fn parse_args() -> Result<Args, String> {
                      --queue N         per-shard queue capacity (default 256; local mode)\n  \
                      --attacked-pct P  percent of traffic from attacked scenarios (default 30)\n  \
                      --faults PLAN     compose the fault plan in PLAN (JSON) onto corpus runs\n  \
+                     --detector NAME   stamp every request with this detector (sam, zscore,\n                    \
+                                       geometric, ensemble; default: unset = sam)\n  \
                      --explain         attach verdict explanations to every response (local)\n  \
                      --json PATH       write the summary as JSON\n  \
                      --telemetry PATH  write batch spans + metrics snapshot as JSONL\n  \
@@ -389,10 +394,7 @@ fn local_run(
         max_batch: args.batch,
         // Calibrated like the detection experiment: at ~10-run training
         // scale the 3σ library default under-fires on held-out traffic.
-        detector: sam::SamConfig {
-            z_threshold: 2.5,
-            ..sam::SamConfig::default()
-        },
+        detector: sam::SamConfig::calibrated(),
         explain: args.explain,
         ..ServiceConfig::default()
     };
@@ -411,6 +413,7 @@ fn local_run(
                 key: ProfileKey::new(&deployment.topology, &deployment.protocol),
                 routes: routes.clone(),
                 probe_ack_ratio: None,
+                detector: None,
             })
             .map(Pending::wait);
     }
@@ -442,6 +445,7 @@ fn local_run(
             routes: routes.clone(),
             // Attacked traffic fails its probe test; normal traffic acks.
             probe_ack_ratio: if *attacked { Some(0.1) } else { None },
+            detector: args.detector.clone(),
         };
         let mut retried = false;
         loop {
@@ -468,6 +472,10 @@ fn local_run(
                 }
                 Err(SubmitError::Closed) => {
                     eprintln!("loadgen: service closed mid-run");
+                    std::process::exit(1);
+                }
+                Err(e @ SubmitError::UnknownDetector { .. }) => {
+                    eprintln!("loadgen: {e}");
                     std::process::exit(1);
                 }
             }
@@ -554,6 +562,7 @@ fn remote_run(
             let corpus = wire_corpus.clone();
             let registry = registry.clone();
             let metrics = metrics.clone();
+            let detector = args.detector.clone();
             std::thread::Builder::new()
                 .name(format!("loadgen-conn-{conn}"))
                 .spawn(move || {
@@ -563,6 +572,7 @@ fn remote_run(
                         &corpus,
                         &ids,
                         per_conn_rate,
+                        detector.as_deref(),
                         &registry,
                         &metrics,
                     )
@@ -588,12 +598,14 @@ fn remote_run(
 /// [`PIPELINE_WINDOW`] deep; the gateway answers in order per connection,
 /// so responses match the send queue front by construction (a mismatch is
 /// a transport error).
+#[allow(clippy::too_many_arguments)]
 fn remote_client(
     addr: &str,
     conn: usize,
     corpus: &[WireEntry],
     ids: &[u64],
     rate: f64,
+    detector: Option<&str>,
     registry: &Registry,
     metrics: &ServiceMetrics,
 ) -> Tally {
@@ -711,6 +723,7 @@ fn remote_client(
             protocol: entry.protocol.clone(),
             routes: entry.routes.clone(),
             probe_ack_ratio: if entry.attacked { Some(0.1) } else { None },
+            detector: detector.map(str::to_string),
             timings: false,
             trace: Some(trace.clone()),
         }

@@ -2,7 +2,7 @@
 
 use manet_routing::Route;
 use manet_sim::NodeId;
-use sam::{DetectionOutcome, SamAnalysis};
+use sam::{DetectionOutcome, DetectorOutcome, DetectorVerdict, SamAnalysis};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -53,6 +53,11 @@ pub struct DetectionRequest {
     /// means probes all succeeded — the pure-relay wormhole case, where
     /// the statistics alone must carry the verdict.
     pub probe_ack_ratio: Option<f64>,
+    /// Which registered detector should judge the routes (`"sam"`,
+    /// `"zscore"`, `"geometric"`, `"ensemble"`). `None` selects `"sam"`
+    /// — exactly the pre-registry behaviour. Unknown names are rejected
+    /// at submission with [`SubmitError::UnknownDetector`].
+    pub detector: Option<String>,
 }
 
 /// Compact verdict derived from the procedure outcome.
@@ -107,6 +112,40 @@ impl Verdict {
             }
         }
     }
+
+    /// Project a trait-path procedure outcome down to the wire verdict,
+    /// arm for arm the same shape as [`Verdict::from_outcome`] (a Normal
+    /// outcome zeroes the statistics the same way).
+    pub fn from_detector_outcome(outcome: &DetectorOutcome) -> Self {
+        fn of_verdict(v: &DetectorVerdict, confirmed: bool, isolate: Vec<NodeId>) -> Verdict {
+            Verdict {
+                anomalous: v.anomalous,
+                confirmed,
+                lambda: v.lambda,
+                p_max: v.p_max,
+                delta: v.delta,
+                suspect_link: v.suspect_link.map(|l| l.endpoints()),
+                isolate,
+            }
+        }
+        match outcome {
+            DetectorOutcome::Normal { .. } => Verdict {
+                anomalous: false,
+                confirmed: false,
+                lambda: 1.0,
+                p_max: 0.0,
+                delta: 0.0,
+                suspect_link: None,
+                isolate: Vec::new(),
+            },
+            DetectorOutcome::SuspiciousUnconfirmed { verdict, .. } => {
+                of_verdict(verdict, false, Vec::new())
+            }
+            DetectorOutcome::Confirmed { verdict, report } => {
+                of_verdict(verdict, true, report.isolate.clone())
+            }
+        }
+    }
 }
 
 /// Where one request's latency went, stage by stage, on the monotonic
@@ -135,6 +174,13 @@ pub struct StageTiming {
 pub struct DetectionResponse {
     /// Correlation id from the request.
     pub id: u64,
+    /// Name of the detector that judged the routes (`"sam"` when the
+    /// request named none).
+    pub detector: String,
+    /// The detector's normalized anomaly score (1.0 = the decision
+    /// boundary). 0 for a Normal SAM outcome, mirroring the zeroed
+    /// verdict statistics.
+    pub score: f64,
     /// The verdict. Deterministic in the request contents — independent
     /// of worker count, batching, and arrival order.
     pub verdict: Verdict,
@@ -163,6 +209,12 @@ pub enum SubmitError {
     },
     /// The service has been shut down.
     Closed,
+    /// The request named a detector the service's registry does not
+    /// hold. Rejected at submission — no shard queue slot is consumed.
+    UnknownDetector {
+        /// The name the request asked for.
+        name: String,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -172,6 +224,13 @@ impl fmt::Display for SubmitError {
                 write!(f, "request shed: shard queue full (depth {queue_depth})")
             }
             SubmitError::Closed => write!(f, "service is shut down"),
+            SubmitError::UnknownDetector { name } => {
+                write!(
+                    f,
+                    "unknown detector `{name}` (known: {})",
+                    sam::DETECTOR_NAMES.join(", ")
+                )
+            }
         }
     }
 }

@@ -28,7 +28,10 @@ use crate::metrics::ServiceMetrics;
 use crate::request::{DetectionRequest, DetectionResponse, ProfileKey, SubmitError, Verdict};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use manet_routing::{ProbeOutcome, Route};
-use sam::{NormalProfile, Procedure, ProcedureConfig, SamConfig, SamDetector};
+use sam::{
+    run_procedure, verdict_from_sam, DetectionOutcome, DetectorInput, DetectorRegistry,
+    NormalProfile, Procedure, ProcedureConfig, SamConfig, SamDetector,
+};
 use sam_telemetry::{Registry, TraceContext};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,7 +49,10 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Profiles retained in the shared LRU cache.
     pub cache_capacity: usize,
-    /// Step-1 detector configuration.
+    /// The SAM configuration — the one threshold-calibration point. The
+    /// service builds its [`DetectorRegistry`] from it
+    /// ([`DetectorRegistry::with_sam`]), so the `"sam"` entry, the
+    /// ensemble's SAM member, and the concrete fast path all share it.
     pub detector: SamConfig,
     /// Three-step procedure configuration.
     pub procedure: ProcedureConfig,
@@ -137,6 +143,7 @@ pub struct DetectionService {
     cache: Arc<ProfileCache>,
     metrics: Arc<ServiceMetrics>,
     registry: Arc<Registry>,
+    detectors: DetectorRegistry,
 }
 
 impl DetectionService {
@@ -172,6 +179,7 @@ impl DetectionService {
             registry.counter("serve.cache_misses"),
         ));
         let metrics = Arc::new(ServiceMetrics::with_registry(&registry));
+        let detectors = DetectorRegistry::with_sam(cfg.detector);
         let mut shards = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
 
@@ -182,7 +190,9 @@ impl DetectionService {
                 rx,
                 max_batch: cfg.max_batch,
                 procedure: Procedure::new(SamDetector::new(cfg.detector), cfg.procedure),
-                explainer: cfg.explain.then(|| SamDetector::new(cfg.detector)),
+                procedure_cfg: cfg.procedure,
+                detectors: detectors.clone(),
+                explain: cfg.explain,
                 cache: cache.clone(),
                 metrics: metrics.clone(),
                 profiles: profiles.clone(),
@@ -202,6 +212,7 @@ impl DetectionService {
             cache,
             metrics,
             registry,
+            detectors,
         }
     }
 
@@ -225,6 +236,14 @@ impl DetectionService {
         request: DetectionRequest,
         trace: Option<TraceContext>,
     ) -> Result<Pending, SubmitError> {
+        // Detector names are validated here, at the door: a typo'd
+        // request never consumes a queue slot, and workers can trust
+        // every queued name resolves.
+        if let Some(name) = &request.detector {
+            if !self.detectors.contains(name) {
+                return Err(SubmitError::UnknownDetector { name: name.clone() });
+            }
+        }
         let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let n = self.shards.len();
         let (theirs, ours) = Pending::new();
@@ -259,6 +278,11 @@ impl DetectionService {
     /// The shared profile cache (hit/miss counters live here).
     pub fn cache(&self) -> &Arc<ProfileCache> {
         &self.cache
+    }
+
+    /// The detector registry requests select from by name.
+    pub fn detectors(&self) -> &DetectorRegistry {
+        &self.detectors
     }
 
     /// The shared metrics.
@@ -298,10 +322,16 @@ impl Drop for DetectionService {
 struct Worker {
     rx: Receiver<Job>,
     max_batch: usize,
+    /// The concrete SAM procedure — the fast path every request without
+    /// a `detector` field (and every `"sam"` request) takes, unchanged
+    /// from before the detector registry existed.
     procedure: Procedure,
-    /// Present when [`ServiceConfig::explain`] is on: a detector used to
-    /// re-run the step-1 analysis for the response's explanation.
-    explainer: Option<SamDetector>,
+    procedure_cfg: ProcedureConfig,
+    /// Named detectors for requests that select one; shared across
+    /// workers (trait objects behind `Arc`s).
+    detectors: DetectorRegistry,
+    /// Attach an [`Explanation`](sam::Explanation) to every response.
+    explain: bool,
     cache: Arc<ProfileCache>,
     metrics: Arc<ServiceMetrics>,
     profiles: ProfileSource,
@@ -374,17 +404,50 @@ impl Worker {
             sent: count,
             acked: ((count as f64) * ratio).round() as u32,
         };
-        let outcome = self
-            .procedure
-            .execute(&request.routes, &profile, &mut transport);
 
-        // Explanations are deterministic in (routes, profile) — like the
-        // verdict itself — so attaching them keeps the determinism
-        // contract intact.
-        let explanation = self.explainer.as_ref().map(|d| {
-            let analysis = d.analyze(&request.routes, &profile);
-            sam::Explanation::from_analysis(&request.routes, &analysis)
-        });
+        // Route on the requested detector. No `detector` field (or an
+        // explicit `"sam"`) takes the concrete SAM procedure — the exact
+        // pre-registry code path, so old clients observe nothing new.
+        // Other names run the trait-path procedure over the registry
+        // entry. Explanations stay deterministic in (routes, profile)
+        // either way, keeping the determinism contract intact.
+        let requested = request.detector.as_deref().unwrap_or("sam");
+        let (verdict, score, explanation) = if requested == "sam" {
+            let outcome = self
+                .procedure
+                .execute(&request.routes, &profile, &mut transport);
+            let score = match &outcome {
+                DetectionOutcome::Normal { .. } => 0.0,
+                DetectionOutcome::SuspiciousUnconfirmed { analysis, .. }
+                | DetectionOutcome::Confirmed { analysis, .. } => {
+                    verdict_from_sam(self.procedure.detector().config(), analysis).score
+                }
+            };
+            let explanation = self.explain.then(|| {
+                let d = self.procedure.detector();
+                let analysis = d.analyze(&request.routes, &profile);
+                let v = verdict_from_sam(d.config(), &analysis);
+                sam::Explanation::from_verdict(&request.routes, &v)
+            });
+            (Verdict::from_outcome(&outcome), score, explanation)
+        } else {
+            let detector = self
+                .detectors
+                .get(requested)
+                .expect("submit validated the detector name");
+            let input = DetectorInput::new(&request.routes, &profile);
+            let outcome = run_procedure(
+                detector.as_ref(),
+                &input,
+                &self.procedure_cfg,
+                &mut transport,
+            );
+            let score = outcome.verdict().score;
+            let explanation = self
+                .explain
+                .then(|| sam::Explanation::from_verdict(&request.routes, outcome.verdict()));
+            (Verdict::from_detector_outcome(&outcome), score, explanation)
+        };
 
         // Count before waking the caller, so a metrics snapshot taken the
         // instant `wait` returns already includes this response.
@@ -394,7 +457,9 @@ impl Worker {
         drop(span); // close before the caller wakes
         reply.fill(DetectionResponse {
             id: request.id,
-            verdict: Verdict::from_outcome(&outcome),
+            detector: requested.to_string(),
+            score,
+            verdict,
             profile_cache_hit: cache_hit,
             timing: crate::request::StageTiming {
                 queue_wait_us: queue_wait.as_micros().min(u64::MAX as u128) as u64,

@@ -74,7 +74,7 @@ pub struct TraceExemplar {
 /// One verdict-audit JSONL line, appended for every completed request
 /// when the gateway runs with `--audit-log`. `kind` pins the line shape
 /// so audit files can be grepped out of mixed logs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct AuditRecord {
     /// Line discriminator, `"audit"`.
     pub kind: String,
@@ -88,6 +88,13 @@ pub struct AuditRecord {
     pub shard: Option<u64>,
     /// Final wire status (`ok`, `shed`, `error`).
     pub status: String,
+    /// Name of the detector that judged the routes, on `ok`. Absent in
+    /// audit files written before detector selection existed — decode
+    /// treats a missing field as `None`, so old trails stay readable.
+    pub detector: Option<String>,
+    /// The detector's normalized anomaly score (1.0 = the decision
+    /// boundary), on `ok`. Absent in pre-selection audit files.
+    pub score: Option<f64>,
     /// Whether the detector flagged the route set (λ exceeded), on `ok`.
     pub anomalous: Option<bool>,
     /// Whether probing confirmed the wormhole, on `ok`.
@@ -110,6 +117,41 @@ impl AuditRecord {
     /// Encode as one JSONL line (no terminator).
     pub fn encode(&self) -> String {
         serde_json::to_string(self).expect("audit record serializes")
+    }
+}
+
+// Hand-written so `detector`/`score` default to `None`: audit JSONL
+// written before detector selection existed decodes unchanged.
+impl Deserialize for AuditRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| {
+            v.field(name)
+                .ok_or_else(|| serde::DeError::msg(format!("missing field `{name}`")))
+        };
+        fn opt<T: Deserialize>(v: &serde::Value, name: &str) -> Result<Option<T>, serde::DeError> {
+            match v.field(name) {
+                None => Ok(None),
+                Some(t) => Deserialize::from_value(t),
+            }
+        }
+        Ok(AuditRecord {
+            kind: Deserialize::from_value(required("kind")?)?,
+            trace: Deserialize::from_value(required("trace")?)?,
+            id: Deserialize::from_value(required("id")?)?,
+            key: Deserialize::from_value(required("key")?)?,
+            shard: opt(v, "shard")?,
+            status: Deserialize::from_value(required("status")?)?,
+            detector: opt(v, "detector")?,
+            score: opt(v, "score")?,
+            anomalous: opt(v, "anomalous")?,
+            confirmed: opt(v, "confirmed")?,
+            p_max: opt(v, "p_max")?,
+            suspect_link: opt(v, "suspect_link")?,
+            total_us: Deserialize::from_value(required("total_us")?)?,
+            queue_wait_us: Deserialize::from_value(required("queue_wait_us")?)?,
+            compute_us: Deserialize::from_value(required("compute_us")?)?,
+            serialize_us: Deserialize::from_value(required("serialize_us")?)?,
+        })
     }
 }
 
@@ -214,6 +256,8 @@ mod tests {
             key: "uniform6x6/mr".to_string(),
             shard: Some(0),
             status: "ok".to_string(),
+            detector: Some("sam".to_string()),
+            score: Some(1.37),
             anomalous: Some(true),
             confirmed: Some(true),
             p_max: Some(0.83),
@@ -228,10 +272,13 @@ mod tests {
         assert_eq!(back, rec);
         assert!(line.contains("\"kind\":\"audit\""));
         assert!(line.contains("\"p_max\":0.83"));
+        assert!(line.contains("\"detector\":\"sam\""));
         // Shed lines carry no verdict evidence but still encode.
         let shed = AuditRecord {
             status: "shed".to_string(),
             shard: None,
+            detector: None,
+            score: None,
             anomalous: None,
             confirmed: None,
             p_max: None,
@@ -241,5 +288,23 @@ mod tests {
         let back: AuditRecord = serde_json::from_str(&shed.encode()).unwrap();
         assert_eq!(back.p_max, None);
         assert_eq!(back.suspect_link, None);
+    }
+
+    #[test]
+    fn pre_detector_audit_lines_still_decode() {
+        // A line exactly as gateways wrote it before detector selection:
+        // no `detector`, no `score`. Old audit trails must stay readable.
+        let line = concat!(
+            "{\"kind\":\"audit\",\"trace\":\"000000000000002a000000000000007b\",",
+            "\"id\":9,\"key\":\"uniform6x6/mr\",\"shard\":0,\"status\":\"ok\",",
+            "\"anomalous\":true,\"confirmed\":true,\"p_max\":0.83,",
+            "\"suspect_link\":[3,9],\"total_us\":900,\"queue_wait_us\":100,",
+            "\"compute_us\":750,\"serialize_us\":10}"
+        );
+        let rec: AuditRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(rec.detector, None);
+        assert_eq!(rec.score, None);
+        assert_eq!(rec.p_max, Some(0.83));
+        assert_eq!(rec.suspect_link, Some((3, 9)));
     }
 }

@@ -32,9 +32,11 @@
 //!
 //! `status` is `"ok"`, `"shed"` (the 503-style overload signal, carrying
 //! the queue depth the request collided with), `"draining"` (drain
-//! acknowledged; the socket will close), or `"error"` (malformed input;
-//! `error` holds the reason, `id` is 0 when the line never parsed far
-//! enough to have one).
+//! acknowledged; the socket will close), `"unknown_detector"` (the
+//! request's optional `"detector"` field named a detector outside the
+//! registry; `error` lists the known names and the connection stays
+//! open), or `"error"` (malformed input; `error` holds the reason, `id`
+//! is 0 when the line never parsed far enough to have one).
 //!
 //! ## Framing guarantees
 //!
@@ -62,6 +64,10 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 pub const STATUS_OK: &str = "ok";
 /// `status` of a request shed by overload (503-equivalent).
 pub const STATUS_SHED: &str = "shed";
+/// `status` of a request naming a detector the gateway's registry does
+/// not hold. Typed like the stats-window errors: the connection stays
+/// open, `error` names the known detectors.
+pub const STATUS_UNKNOWN_DETECTOR: &str = "unknown_detector";
 /// `status` acknowledging a `drain` command.
 pub const STATUS_DRAINING: &str = "draining";
 /// `status` of a line the server could not serve.
@@ -250,6 +256,11 @@ pub struct WireRequest {
     /// Observed probe ACK ratio, if the requester probed (see
     /// [`DetectionRequest::probe_ack_ratio`]).
     pub probe_ack_ratio: Option<f64>,
+    /// Which registered detector should judge the routes (`"sam"`,
+    /// `"zscore"`, `"geometric"`, `"ensemble"`). Absent → `"sam"`, the
+    /// pre-registry behaviour; unknown names get a typed
+    /// [`STATUS_UNKNOWN_DETECTOR`] response, not a disconnect.
+    pub detector: Option<String>,
     /// When `true`, the gateway returns the per-stage latency breakdown
     /// (`queue_wait_us`/`compute_us`/`serialize_us`) in the response's
     /// `timings` field.
@@ -279,6 +290,10 @@ impl Deserialize for WireRequest {
                 None => None,
                 Some(p) => Deserialize::from_value(p)?,
             },
+            detector: match v.field("detector") {
+                None => None,
+                Some(d) => Deserialize::from_value(d)?,
+            },
             timings: match v.field("timings") {
                 None => false,
                 Some(t) => Deserialize::from_value(t)?,
@@ -304,6 +319,7 @@ impl WireRequest {
                 .map(|r| r.nodes().iter().map(|n| n.0).collect())
                 .collect(),
             probe_ack_ratio: req.probe_ack_ratio,
+            detector: req.detector.clone(),
             timings: false,
             trace: None,
         }
@@ -327,6 +343,7 @@ impl WireRequest {
             key: ProfileKey::new(self.topology, self.protocol),
             routes,
             probe_ack_ratio: self.probe_ack_ratio,
+            detector: self.detector,
         })
     }
 
@@ -444,8 +461,15 @@ pub fn decode_line(bytes: &[u8]) -> Result<WireLine, WireError> {
 pub struct WireResponse {
     /// Correlation id from the request (0 when the line had none).
     pub id: u64,
-    /// `"ok"`, `"shed"`, `"draining"`, or `"error"`.
+    /// `"ok"`, `"shed"`, `"draining"`, `"unknown_detector"`, or
+    /// `"error"`.
     pub status: String,
+    /// Name of the detector that judged the routes, on `"ok"` (echoed
+    /// even when the request left the choice implicit).
+    pub detector: Option<String>,
+    /// The detector's normalized anomaly score (1.0 = the decision
+    /// boundary), on `"ok"`.
+    pub score: Option<f64>,
     /// The verdict, on `"ok"`.
     pub verdict: Option<Verdict>,
     /// Whether the profile came from the shard's cache, on `"ok"`.
@@ -491,6 +515,8 @@ impl Deserialize for WireResponse {
         Ok(WireResponse {
             id: Deserialize::from_value(required("id")?)?,
             status: Deserialize::from_value(required("status")?)?,
+            detector: opt(v, "detector")?,
+            score: opt(v, "score")?,
             verdict: opt(v, "verdict")?,
             profile_cache_hit: opt(v, "profile_cache_hit")?,
             explanation: opt(v, "explanation")?,
@@ -511,6 +537,8 @@ impl WireResponse {
         WireResponse {
             id: resp.id,
             status: STATUS_OK.to_string(),
+            detector: Some(resp.detector),
+            score: Some(resp.score),
             verdict: Some(resp.verdict),
             profile_cache_hit: Some(resp.profile_cache_hit),
             explanation: resp.explanation,
@@ -550,6 +578,8 @@ impl WireResponse {
         WireResponse {
             id: 0,
             status: STATUS_OK.to_string(),
+            detector: None,
+            score: None,
             verdict: None,
             profile_cache_hit: None,
             explanation: None,
@@ -568,6 +598,8 @@ impl WireResponse {
         WireResponse {
             id: 0,
             status: STATUS_OK.to_string(),
+            detector: None,
+            score: None,
             verdict: None,
             profile_cache_hit: None,
             explanation: None,
@@ -586,6 +618,8 @@ impl WireResponse {
         WireResponse {
             id,
             status: STATUS_SHED.to_string(),
+            detector: None,
+            score: None,
             verdict: None,
             profile_cache_hit: None,
             explanation: None,
@@ -604,6 +638,8 @@ impl WireResponse {
         WireResponse {
             id,
             status: STATUS_DRAINING.to_string(),
+            detector: None,
+            score: None,
             verdict: None,
             profile_cache_hit: None,
             explanation: None,
@@ -617,11 +653,30 @@ impl WireResponse {
         }
     }
 
+    /// The typed rejection of a request naming an unregistered
+    /// detector: `status` is [`STATUS_UNKNOWN_DETECTOR`], `detector`
+    /// echoes the bad name, and `error` lists the known ones. The
+    /// connection stays open — mirroring the typed stats-window errors.
+    pub fn unknown_detector(id: u64, name: &str) -> Self {
+        let mut resp = WireResponse::error(
+            id,
+            format!(
+                "unknown detector `{name}` (known: {})",
+                sam::DETECTOR_NAMES.join(", ")
+            ),
+        );
+        resp.status = STATUS_UNKNOWN_DETECTOR.to_string();
+        resp.detector = Some(name.to_string());
+        resp
+    }
+
     /// A typed failure for line `id` (0 when unknown).
     pub fn error(id: u64, reason: impl Into<String>) -> Self {
         WireResponse {
             id,
             status: STATUS_ERROR.to_string(),
+            detector: None,
+            score: None,
             verdict: None,
             profile_cache_hit: None,
             explanation: None,
@@ -662,6 +717,11 @@ mod tests {
                 None
             } else {
                 Some(0.25)
+            },
+            detector: if id.is_multiple_of(5) {
+                Some("ensemble".to_string())
+            } else {
+                None
             },
             timings: id.is_multiple_of(3),
             trace: if id.is_multiple_of(2) {

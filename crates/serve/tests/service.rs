@@ -69,6 +69,7 @@ fn request_mix(n: u64) -> Vec<DetectionRequest> {
                 } else {
                     None
                 },
+                detector: None,
             }
         })
         .collect()
@@ -100,7 +101,7 @@ fn serve_all(workers: usize, requests: &[DetectionRequest]) -> BTreeMap<u64, Ver
                     break;
                 }
                 Err(SubmitError::Rejected { .. }) => std::thread::yield_now(),
-                Err(SubmitError::Closed) => panic!("service closed"),
+                Err(e) => panic!("unexpected submit error: {e}"),
             }
         }
     }
@@ -242,7 +243,7 @@ fn full_queue_sheds_with_rejected_and_never_deadlocks() {
                 assert!(queue_depth > 0, "rejection must report a full queue");
                 shed += 1;
             }
-            Err(SubmitError::Closed) => panic!("service closed"),
+            Err(e) => panic!("unexpected submit error: {e}"),
         }
     }
     // Capacity 2 + at most a few in worker hands: most of the 32 shed.
@@ -265,5 +266,90 @@ fn full_queue_sheds_with_rejected_and_never_deadlocks() {
         let _ = p.wait();
     }
     assert_eq!(service.metrics().completed(), n);
+    service.shutdown();
+}
+
+#[test]
+fn explicit_sam_is_byte_identical_to_the_unset_default() {
+    // `detector: "sam"` must reproduce the default path's verdicts
+    // exactly — same struct, field for field — because it IS the same
+    // code path.
+    let requests = request_mix(60);
+    let implicit = serve_all(2, &requests);
+    let explicit_requests: Vec<DetectionRequest> = requests
+        .iter()
+        .map(|r| DetectionRequest {
+            detector: Some("sam".to_string()),
+            ..r.clone()
+        })
+        .collect();
+    let explicit = serve_all(2, &explicit_requests);
+    assert_eq!(implicit, explicit, "naming sam changed a verdict");
+}
+
+#[test]
+fn unknown_detector_is_rejected_at_submission_with_a_typed_error() {
+    let service = DetectionService::start(ServiceConfig::default(), synthetic_profiles());
+    let mut req = request_mix(1).remove(0);
+    req.detector = Some("oracle".to_string());
+    match service.submit(req) {
+        Err(SubmitError::UnknownDetector { name }) => {
+            assert_eq!(name, "oracle");
+        }
+        Err(other) => panic!("expected UnknownDetector, got {other:?}"),
+        Ok(_) => panic!("expected UnknownDetector, got an accepted request"),
+    }
+    // The error names the registry so a typo is self-correcting.
+    let err = SubmitError::UnknownDetector {
+        name: "oracle".to_string(),
+    };
+    let msg = err.to_string();
+    for name in sam::DETECTOR_NAMES {
+        assert!(msg.contains(name), "{msg:?} must list {name}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn alternative_detectors_serve_verdicts_and_echo_their_name() {
+    let cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 4,
+        cache_capacity: 8,
+        explain: true,
+        ..ServiceConfig::default()
+    };
+    let service = DetectionService::start(cfg, synthetic_profiles());
+    for name in ["zscore", "ensemble"] {
+        let mut req = request_mix(1).remove(0); // id 0: attacked worm_set
+        req.detector = Some(name.to_string());
+        let resp = service.submit(req).expect("known detector").wait();
+        assert_eq!(resp.detector, name);
+        assert!(
+            resp.verdict.anomalous,
+            "{name} must flag the planted wormhole: {:?}",
+            resp.verdict
+        );
+        assert!(
+            resp.score > 1.0,
+            "{name} score must sit past the boundary: {}",
+            resp.score
+        );
+        assert_eq!(
+            resp.verdict.suspect_link.map(|(a, b)| (a.0, b.0)),
+            Some((20, 21)),
+            "{name} must localize the planted link"
+        );
+        let ex = resp.explanation.expect("explain mode");
+        assert_eq!(ex.detector, name);
+        assert_eq!(ex.score, resp.score);
+        assert!(ex.evidence.is_some(), "{name} explanation carries evidence");
+    }
+    // A normal set stays clean under the ensemble.
+    let mut normal = request_mix(2).remove(1);
+    normal.detector = Some("ensemble".to_string());
+    let resp = service.submit(normal).expect("known detector").wait();
+    assert!(!resp.verdict.anomalous, "{:?}", resp.verdict);
     service.shutdown();
 }

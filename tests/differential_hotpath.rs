@@ -246,6 +246,135 @@ fn random_disc_selective_wormhole_matches_under_faults() {
     );
 }
 
+/// The detector-trait path must be *observably identical* to the
+/// concrete procedure it generalizes: `run_procedure` driving a
+/// [`SamDetector`] as a `&dyn Detector` against the exact routes the
+/// seed cluster-1 scenarios produce, compared field-by-field with
+/// `Procedure::execute` — same outcome class, same `p_max`/`Δ`/suspect,
+/// same selected routes, same confirmed report. This pins the
+/// api-redesign contract the same way the queue/store rewrites above
+/// pin theirs.
+#[test]
+fn trait_object_sam_path_matches_concrete_procedure() {
+    use sam::prelude::*;
+
+    let topology = TopologyKind::cluster1();
+    let protocol = ProtocolKind::Mr;
+    let normal = ScenarioSpec::normal(topology, protocol);
+    let attacked = normal.with_wormholes(1);
+
+    // Train exactly as the experiments do: clean normal runs, offset
+    // from the evaluation indices.
+    let training: Vec<Vec<manet_routing::Route>> = (0..8)
+        .map(|i| run_once_with_routes(&normal, 1000 + i).1)
+        .collect();
+    let sam_cfg = SamConfig::calibrated();
+    let profile = NormalProfile::train(&training, sam_cfg.pmf_bins);
+
+    let detector = SamDetector::new(sam_cfg);
+    let procedure = Procedure::new(SamDetector::new(sam_cfg), ProcedureConfig::default());
+    let proc_cfg = ProcedureConfig::default();
+
+    let mut confirmed = 0usize;
+    let mut normal_runs = 0usize;
+    // Attacked runs probe through a transport that blackholes the
+    // suspect link (the tunnel swallows probes), normal runs through an
+    // all-ack transport — both compositions see identical probe
+    // behaviour either way, so the mix exercises every outcome class.
+    for (spec, blackhole) in [(&attacked, true), (&normal, false)] {
+        for run in 0..4u64 {
+            let (_, routes) = run_once_with_routes(spec, run);
+            assert!(!routes.is_empty(), "run {run}: vacuous comparison");
+
+            let suspect = detector
+                .analyze(&routes, &profile)
+                .suspect_link
+                .filter(|_| blackhole);
+            let (concrete, trait_path) = match suspect {
+                Some(link) => {
+                    let mut t1 = blackhole_transport(link);
+                    let concrete = procedure.execute(&routes, &profile, &mut t1);
+                    let mut t2 = blackhole_transport(link);
+                    let input = DetectorInput::new(&routes, &profile);
+                    (
+                        concrete,
+                        run_procedure(&detector, &input, &proc_cfg, &mut t2),
+                    )
+                }
+                None => {
+                    let mut t1 = all_ack_transport();
+                    let concrete = procedure.execute(&routes, &profile, &mut t1);
+                    let mut t2 = all_ack_transport();
+                    let input = DetectorInput::new(&routes, &profile);
+                    (
+                        concrete,
+                        run_procedure(&detector, &input, &proc_cfg, &mut t2),
+                    )
+                }
+            };
+
+            let ctx = format!("{:?} run {run}", spec.topology);
+            match (&concrete, &trait_path) {
+                (
+                    DetectionOutcome::Normal { selected_routes: a },
+                    DetectorOutcome::Normal {
+                        verdict,
+                        selected_routes: b,
+                    },
+                ) => {
+                    normal_runs += 1;
+                    assert!(!verdict.anomalous, "{ctx}: verdict class");
+                    assert_eq!(a, b, "{ctx}: selected routes");
+                }
+                (
+                    DetectionOutcome::SuspiciousUnconfirmed {
+                        analysis,
+                        selected_routes: a,
+                    },
+                    DetectorOutcome::SuspiciousUnconfirmed {
+                        verdict,
+                        selected_routes: b,
+                    },
+                ) => {
+                    assert_eq!(analysis.features.p_max, verdict.p_max, "{ctx}: p_max");
+                    assert_eq!(analysis.features.delta, verdict.delta, "{ctx}: delta");
+                    assert_eq!(
+                        analysis.suspect_link, verdict.suspect_link,
+                        "{ctx}: suspect"
+                    );
+                    assert_eq!(analysis.lambda, verdict.lambda, "{ctx}: lambda");
+                    assert_eq!(a, b, "{ctx}: selected routes");
+                }
+                (
+                    DetectionOutcome::Confirmed {
+                        report: ra,
+                        analysis,
+                    },
+                    DetectorOutcome::Confirmed {
+                        verdict,
+                        report: rb,
+                    },
+                ) => {
+                    confirmed += 1;
+                    assert_eq!(analysis.features.p_max, verdict.p_max, "{ctx}: p_max");
+                    assert_eq!(analysis.features.delta, verdict.delta, "{ctx}: delta");
+                    assert_eq!(
+                        analysis.suspect_link, verdict.suspect_link,
+                        "{ctx}: suspect"
+                    );
+                    assert_eq!(ra, rb, "{ctx}: confirmed report");
+                }
+                (a, b) => {
+                    panic!("{ctx}: outcome classes diverge:\n  concrete: {a:?}\n  trait: {b:?}")
+                }
+            }
+        }
+    }
+    // The mix must exercise both ends or the equivalence is vacuous.
+    assert!(confirmed > 0, "no confirmed verdicts in the seed scenarios");
+    assert!(normal_runs > 0, "no normal verdicts in the seed scenarios");
+}
+
 /// The dense tabulation and the reference tabulation must agree *on the
 /// same captured route set* too (the end-to-end checks above compare
 /// them across separately-executed runs).
